@@ -1,0 +1,49 @@
+# Wi-LE reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build test bench lab examples fuzz cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The full evaluation: Table 1, Figures 3a/3b/4, §3.1 claims, ablations.
+lab:
+	$(GO) run ./cmd/wile-lab -out results all
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Record the artifacts EXPERIMENTS.md references.
+artifacts:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/farm
+	$(GO) run ./examples/smartphone
+	$(GO) run ./examples/twoway
+	$(GO) run ./examples/secure
+	$(GO) run ./examples/wardrive
+	$(GO) run ./examples/metering
+
+# Short fuzz sessions on every fuzz target (extend -fuzztime for real runs).
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/dot11/
+	$(GO) test -fuzz=FuzzParseElements -fuzztime=30s ./internal/dot11/
+	$(GO) test -fuzz=FuzzParseFragment -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzReadingsRoundTrip -fuzztime=30s ./internal/core/
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -rf results cover.out test_output.txt bench_output.txt

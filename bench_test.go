@@ -1,0 +1,290 @@
+package wile_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Each Benchmark*
+// reports the reproduced quantity as a custom metric alongside the usual
+// ns/op, so `bench_output.txt` doubles as the measured-results record
+// EXPERIMENTS.md references:
+//
+//	BenchmarkTable1EnergyPerPacketWiLE     µJ/pkt    (paper: 84)
+//	BenchmarkTable1EnergyPerPacketBLE      µJ/pkt    (paper: 71)
+//	BenchmarkTable1EnergyPerPacketWiFiDC   mJ/pkt    (paper: 238.2)
+//	BenchmarkTable1EnergyPerPacketWiFiPS   mJ/pkt    (paper: 19.8)
+//	BenchmarkFig3aWiFiJoinTrace            mJ/cycle, tx-s
+//	BenchmarkFig3bWiLETrace                mJ/cycle
+//	BenchmarkFig4AveragePowerSweep         crossover-s
+//	BenchmarkClaimsJoinFrameCount          mac-frames, hl-frames
+
+import (
+	"testing"
+	"time"
+
+	"wile"
+	"wile/internal/dot11"
+	"wile/internal/experiment"
+)
+
+// --- Table 1 ---
+
+func BenchmarkTable1EnergyPerPacketWiLE(b *testing.B) {
+	var energy float64
+	for i := 0; i < b.N; i++ {
+		ep, _, err := experiment.MeasureWiLE()
+		if err != nil {
+			b.Fatal(err)
+		}
+		energy = ep.EnergyJ
+	}
+	b.ReportMetric(energy*1e6, "µJ/pkt")
+}
+
+func BenchmarkTable1EnergyPerPacketBLE(b *testing.B) {
+	var energy float64
+	for i := 0; i < b.N; i++ {
+		ep, err := experiment.MeasureBLE()
+		if err != nil {
+			b.Fatal(err)
+		}
+		energy = ep.EnergyJ
+	}
+	b.ReportMetric(energy*1e6, "µJ/pkt")
+}
+
+func BenchmarkTable1EnergyPerPacketWiFiDC(b *testing.B) {
+	var energy float64
+	for i := 0; i < b.N; i++ {
+		ep, err := experiment.MeasureWiFiDC()
+		if err != nil {
+			b.Fatal(err)
+		}
+		energy = ep.EnergyJ
+	}
+	b.ReportMetric(energy*1e3, "mJ/pkt")
+}
+
+func BenchmarkTable1EnergyPerPacketWiFiPS(b *testing.B) {
+	var energy float64
+	for i := 0; i < b.N; i++ {
+		ep, err := experiment.MeasureWiFiPS()
+		if err != nil {
+			b.Fatal(err)
+		}
+		energy = ep.EnergyJ
+	}
+	b.ReportMetric(energy*1e3, "mJ/pkt")
+}
+
+// --- Figure 3 ---
+
+func BenchmarkFig3aWiFiJoinTrace(b *testing.B) {
+	var tr *experiment.Trace
+	for i := 0; i < b.N; i++ {
+		var err error
+		tr, err = experiment.RunFig3a()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tr.EnergyJ*1e3, "mJ/cycle")
+	if txAt, _, ok := tr.PhaseBounds("Tx"); ok {
+		b.ReportMetric(txAt.Seconds(), "tx-at-s")
+	}
+	b.ReportMetric(float64(len(tr.Samples)), "samples")
+}
+
+func BenchmarkFig3bWiLETrace(b *testing.B) {
+	var tr *experiment.Trace
+	for i := 0; i < b.N; i++ {
+		var err error
+		tr, err = experiment.RunFig3b()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tr.EnergyJ*1e3, "mJ/cycle")
+}
+
+// --- Figure 4 ---
+
+func BenchmarkFig4AveragePowerSweep(b *testing.B) {
+	table, err := experiment.RunTable1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fig *experiment.Fig4Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig = experiment.RunFig4(table, nil)
+	}
+	b.ReportMetric(fig.CrossoverDCPS.Seconds(), "crossover-s")
+	b.ReportMetric(float64(len(fig.Series[0].Points)), "points/series")
+}
+
+// --- §3.1 claims ---
+
+func BenchmarkClaimsJoinFrameCount(b *testing.B) {
+	var c *experiment.ClaimsResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		c, err = experiment.RunClaims()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.MACLayerFrames), "mac-frames")
+	b.ReportMetric(float64(c.HigherLayerFrames), "hl-frames")
+	b.ReportMetric(float64(c.FourWayFrames), "4way-frames")
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationBitrateSweep(b *testing.B) {
+	var pts []experiment.BitratePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiment.RunBitrateAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].EnergyJ*1e6, "µJ@1Mbps")
+	b.ReportMetric(pts[len(pts)-1].EnergyJ*1e6, "µJ@72Mbps")
+}
+
+func BenchmarkAblationPayloadSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunPayloadAblation(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationJitterStudy(b *testing.B) {
+	var pts []experiment.JitterPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiment.RunJitterStudy([]float64{40}, 50)
+	}
+	b.ReportMetric(pts[0].DeliveryRate*100, "delivery-%")
+}
+
+// --- Micro-benchmarks on the hot protocol paths ---
+
+func BenchmarkBeaconBuildAndMarshal(b *testing.B) {
+	msg := &wile.Message{DeviceID: 1, Seq: 1, Readings: []wile.Reading{wile.Temperature(17)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		msg.Seq = uint16(i)
+		beacon, err := wile.BuildBeacon(1, 6, msg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dot11.Marshal(beacon); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBeaconDecodeToMessage(b *testing.B) {
+	msg := &wile.Message{DeviceID: 1, Seq: 1, Readings: []wile.Reading{wile.Temperature(17)}}
+	beacon, err := wile.BuildBeacon(1, 6, msg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := dot11.Marshal(beacon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := dot11.Decode(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wile.DecodeBeacon(f.(*dot11.Beacon), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSealedBeaconRoundTrip(b *testing.B) {
+	key, err := wile.NewKey([]byte("0123456789abcdef"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	keyFor := func(uint32) *wile.Key { return key }
+	msg := &wile.Message{DeviceID: 1, Seq: 1, Readings: []wile.Reading{wile.Temperature(17)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		msg.Seq = uint16(i)
+		beacon, err := wile.BuildBeacon(1, 6, msg, key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wile.DecodeBeacon(beacon, keyFor); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndTransmission(b *testing.B) {
+	sched := wile.NewScheduler()
+	med := wile.NewMedium(sched, wile.Channel(6))
+	sensor := wile.NewSensor(sched, med, wile.SensorConfig{DeviceID: 1, SkipBoot: true})
+	scanner := wile.NewScanner(sched, med, wile.ScannerConfig{Position: wile.Position{X: 2}})
+	scanner.Start()
+	readings := []wile.Reading{wile.Temperature(17)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sensor.TransmitOnce(readings, nil)
+		sched.RunFor(10 * time.Millisecond)
+	}
+	if scanner.Stats.Messages != b.N {
+		b.Fatalf("delivered %d of %d", scanner.Stats.Messages, b.N)
+	}
+}
+
+// --- Extended ablation benches ---
+
+func BenchmarkAblationInterferenceStudy(b *testing.B) {
+	var pts []experiment.InterferencePoint
+	for i := 0; i < b.N; i++ {
+		pts = experiment.RunInterferenceStudy([]float64{0.8})
+	}
+	b.ReportMetric(pts[0].DeliveryRate*100, "delivery-%@80duty")
+	b.ReportMetric(float64(pts[0].MeanDelay.Microseconds()), "deferral-µs")
+}
+
+func BenchmarkAblationFastRejoin(b *testing.B) {
+	var ep experiment.Episode
+	for i := 0; i < b.N; i++ {
+		var err error
+		ep, err = experiment.MeasureWiFiDCFast()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ep.EnergyJ*1e3, "mJ/pkt")
+}
+
+func BenchmarkAblationHopperStudy(b *testing.B) {
+	var pts []experiment.HopperPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiment.RunHopperStudy([]int{3})
+	}
+	b.ReportMetric(pts[0].CaptureRate*100, "capture-%@3ch")
+}
+
+func BenchmarkAblationGoodput(b *testing.B) {
+	var res *experiment.GoodputResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.RunGoodputStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.WiLEJoulesPerByte*1e6, "wile-µJ/B")
+	b.ReportMetric(res.BLEJoulesPerByte*1e6, "ble-µJ/B")
+}

@@ -1,0 +1,306 @@
+// Command wile-lab regenerates the paper's evaluation: Table 1, Figures 3a,
+// 3b and 4, the §3.1 frame-count claims, and the ablation studies.
+//
+// Usage:
+//
+//	wile-lab table1               # energy/packet + idle current comparison
+//	wile-lab fig3a                # WiFi-DC current trace (ASCII + CSV)
+//	wile-lab fig3b                # Wi-LE current trace (ASCII + CSV)
+//	wile-lab fig4                 # average power vs interval (ASCII + CSV)
+//	wile-lab claims               # §3.1 frame counts
+//	wile-lab ablations            # bitrate/payload/listen-interval/jitter/SSID
+//	wile-lab all                  # everything
+//
+// CSVs land in the directory named by -out (default "results").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wile/internal/battery"
+	"wile/internal/energy"
+	"wile/internal/experiment"
+	"wile/internal/pcap"
+)
+
+func main() {
+	out := flag.String("out", "results", "directory for CSV outputs")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *out); err != nil {
+		fmt.Fprintln(os.Stderr, "wile-lab:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wile-lab [-out dir] {table1|fig3a|fig3b|fig4|claims|joincap|ablations|all}")
+}
+
+func run(cmd, out string) error {
+	switch cmd {
+	case "table1":
+		return table1()
+	case "fig3a":
+		return fig3(out, "fig3a", experiment.RunFig3a)
+	case "fig3b":
+		return fig3(out, "fig3b", experiment.RunFig3b)
+	case "fig4":
+		return fig4(out)
+	case "claims":
+		return claims()
+	case "joincap":
+		return joincap(out)
+	case "ablations":
+		return ablations()
+	case "all":
+		for _, step := range []func() error{
+			table1,
+			func() error { return fig3(out, "fig3a", experiment.RunFig3a) },
+			func() error { return fig3(out, "fig3b", experiment.RunFig3b) },
+			func() error { return fig4(out) },
+			claims,
+			ablations,
+		} {
+			if err := step(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	usage()
+	return fmt.Errorf("unknown experiment %q", cmd)
+}
+
+// joincap writes a pcap of a complete join for external tooling.
+func joincap(out string) error {
+	packets, err := experiment.RunJoinCapture()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(out, "join.pcap")
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := pcap.NewWriter(f, pcap.LinkTypeIEEE80211)
+	for _, p := range packets {
+		if err := w.WritePacket(p); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%d frames written to %s (inspect with wile-dump)\n", len(packets), path)
+	return nil
+}
+
+func table1() error {
+	res, err := experiment.RunTable1()
+	if err != nil {
+		return err
+	}
+	res.Render(os.Stdout)
+	return nil
+}
+
+func fig3(out, name string, runner func() (*experiment.Trace, error)) error {
+	tr, err := runner()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure %s (energy over the 2 s window: %s)\n",
+		name[3:], energy.FormatJoules(tr.EnergyJ))
+	tr.RenderASCII(os.Stdout, 78, 14)
+	path := filepath.Join(out, name+".csv")
+	if err := writeFile(path, tr.WriteCSV); err != nil {
+		return err
+	}
+	fmt.Println("trace written to", path)
+	return nil
+}
+
+func fig4(out string) error {
+	table, err := experiment.RunTable1()
+	if err != nil {
+		return err
+	}
+	fig := experiment.RunFig4(table, nil)
+	fig.RenderASCII(os.Stdout, 72, 18)
+	path := filepath.Join(out, "fig4.csv")
+	if err := writeFile(path, fig.WriteCSV); err != nil {
+		return err
+	}
+	fmt.Println("series written to", path)
+	return nil
+}
+
+func claims() error {
+	c, err := experiment.RunClaims()
+	if err != nil {
+		return err
+	}
+	c.Render(os.Stdout)
+	return nil
+}
+
+func ablations() error {
+	points, err := experiment.RunBitrateAblation()
+	if err != nil {
+		return err
+	}
+	experiment.RenderBitrate(os.Stdout, points)
+
+	fmt.Println("\nAblation: payload size vs beacon cost (fragmentation at 243 B)")
+	payload, err := experiment.RunPayloadAblation([]int{8, 64, 128, 243, 244, 486, 600})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %6s %8s %10s %12s\n", "payload", "frags", "beacon", "airtime", "energy")
+	for _, p := range payload {
+		fmt.Printf("%7dB %6d %7dB %10s %12s\n",
+			p.PayloadBytes, p.Fragments, p.BeaconBytes, p.Airtime, energy.FormatJoules(p.EnergyJ))
+	}
+
+	fmt.Println("\nAblation: WiFi-PS idle current vs listen interval (Table 1 uses LI=3)")
+	for _, p := range experiment.RunListenIntervalAblation() {
+		fmt.Printf("  LI=%-2d  %s\n", p.ListenInterval, energy.FormatAmps(p.IdleCurrentA))
+	}
+
+	fmt.Println("\nStudy: §6 clock-jitter self-desynchronization (2 co-periodic sensors)")
+	for _, p := range experiment.RunJitterStudy(nil, 200) {
+		fmt.Printf("  %5.0f ppm: delivery %5.1f%%  (%d/%d, %d collisions, %d/%d cycles contended)\n",
+			p.PPM, p.DeliveryRate*100, p.Delivered, p.Expected, p.Collisions, p.ContendedCycles, p.Cycles)
+	}
+
+	fmt.Println("\nStudy: Wi-LE on a crowded channel (non-CSMA interferer, §1's motivation)")
+	for _, p := range experiment.RunInterferenceStudy(nil) {
+		fmt.Printf("  %3.0f%% occupied: delivery %5.1f%%, mean deferral %8v, %d collisions\n",
+			p.Duty*100, p.DeliveryRate*100, p.MeanDelay.Round(time.Microsecond), p.Collisions)
+	}
+
+	fmt.Println("\nStudy: hopping-receiver capture rate vs channel count (the 5 GHz trade)")
+	for _, p := range experiment.RunHopperStudy(nil) {
+		fmt.Printf("  %d channel(s), %v dwell: captured %d/%d (%.0f%%)\n",
+			p.Channels, p.Dwell, p.Captured, p.Transmitted, p.CaptureRate*100)
+	}
+
+	carriers, err := experiment.RunCarrierAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nAblation: carrier frame choice (§4 — why beacons)")
+	fmt.Printf("  %-16s %6s %10s %10s  %s\n", "carrier", "bytes", "airtime", "energy", "stock receivers")
+	for _, c := range carriers {
+		fmt.Printf("  %-16s %5dB %10s %10s  %s\n",
+			c.Carrier, c.Bytes, c.Airtime, energy.FormatJoules(c.EnergyJ), c.Receivable)
+	}
+
+	ssid, err := experiment.RunHiddenSSIDAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nAblation: hidden vs visible SSID")
+	fmt.Printf("  hidden  %3d B on air, %v\n", ssid.HiddenBytes, ssid.HiddenAirtime)
+	fmt.Printf("  visible %3d B on air, %v\n", ssid.VisibleBytes, ssid.VisibleAirtime)
+
+	table, err := experiment.RunTable1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nProjection: CR2032 coin-cell life at 1-minute reporting")
+	for _, p := range experiment.RunBatteryProjection(table, time.Minute) {
+		fmt.Printf("  %-8s %s\n", p.Name, formatLife(p.Life))
+	}
+
+	fast, err := experiment.MeasureWiFiDCFast()
+	if err != nil {
+		return err
+	}
+	dc, err := experiment.MeasureWiFiDC()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nAblation: cached-lease fast rejoin (skip DHCP/ARP on wake)")
+	fmt.Printf("  full rejoin   %s over %v\n", energy.FormatJoules(dc.EnergyJ), dc.Duration.Round(time.Millisecond))
+	fmt.Printf("  cached lease  %s over %v — still ≈3 orders above Wi-LE\n",
+		energy.FormatJoules(fast.EnergyJ), fast.Duration.Round(time.Millisecond))
+
+	good, err := experiment.RunGoodputStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nComparison: payload and energy per byte (the data-rate claim)")
+	fmt.Printf("  Wi-LE: %d B per element (%d B max/beacon), %.2f µJ/B\n",
+		good.WiLEPayloadPerMsg, good.WiLEMaxPerBeacon, good.WiLEJoulesPerByte*1e6)
+	fmt.Printf("  BLE:   %d B per advertisement, %.2f µJ/B\n",
+		good.BLEPayloadPerMsg, good.BLEJoulesPerByte*1e6)
+
+	cap10, err := experiment.RunCapacityStudy(10 * time.Minute)
+	if err != nil {
+		return err
+	}
+	cap1, err := experiment.RunCapacityStudy(time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nCapacity: Wi-LE devices one channel sustains (10% airtime, §6 scale)")
+	fmt.Printf("  %v airtime per injection (frame %v + DCF overhead)\n", cap10.PerTxAirtime, cap10.BeaconAirtime)
+	fmt.Printf("  at 10-minute reporting: ~%d devices/channel\n", cap10.MaxAt10Util)
+	fmt.Printf("  at  1-minute reporting: ~%d devices/channel\n", cap1.MaxAt10Util)
+
+	fmt.Println("\nFeasibility: sourcing the 180 mA WiFi transmit burst")
+	const brownoutV = 2.43
+	burst := 150 * time.Microsecond
+	for _, chem := range []battery.Chemistry{battery.CR2032, battery.AA2, battery.LiSOCl2AA} {
+		cell := battery.NewCell(chem)
+		if cell.CanSupply(0.18, brownoutV) {
+			fmt.Printf("  %-12s supplies the burst directly (rail %.2f V)\n",
+				chem.Name, cell.TerminalV(0.18))
+			continue
+		}
+		need := battery.MinCapacitorFarads(cell.TerminalV(0), brownoutV, 0.18, burst)
+		fmt.Printf("  %-12s sags to %.2f V — needs a ≥%.0f µF bulk capacitor\n",
+			chem.Name, cell.TerminalV(0.18), need*1e6)
+	}
+	return nil
+}
+
+func formatLife(d time.Duration) string {
+	days := d.Hours() / 24
+	switch {
+	case days > 3650:
+		return fmt.Sprintf("%.0f years (idle-dominated)", days/365)
+	case days > 365:
+		return fmt.Sprintf("%.1f years", days/365)
+	default:
+		return fmt.Sprintf("%.1f days", days)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

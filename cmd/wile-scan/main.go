@@ -1,0 +1,168 @@
+// Command wile-scan decodes Wi-LE sensor data from captured 802.11 frames —
+// the "simple application" of §4 that "looks for special beacon frames
+// transmitted by IoT devices and extracts their data".
+//
+// Input is a pcap file (wile-sensor -pcap writes one) or hex frames on
+// stdin, one per line:
+//
+//	wile-scan capture.pcap
+//	wile-sensor -n 3 -hex | grep '^8000' | wile-scan -
+//
+// With -key a 16-byte pre-shared key (hex) unseals encrypted messages.
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"wile"
+	"wile/internal/dot11"
+	"wile/internal/pcap"
+)
+
+func main() {
+	keyHex := flag.String("key", "", "16-byte pre-shared key (hex)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wile-scan [-key hex] {capture.pcap | -}")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *keyHex); err != nil {
+		fmt.Fprintln(os.Stderr, "wile-scan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, keyHex string) error {
+	var key *wile.Key
+	if keyHex != "" {
+		secret, err := hex.DecodeString(keyHex)
+		if err != nil {
+			return fmt.Errorf("parsing -key: %w", err)
+		}
+		if key, err = wile.NewKey(secret); err != nil {
+			return err
+		}
+	}
+	frames, err := loadFrames(path)
+	if err != nil {
+		return err
+	}
+	keyFor := func(uint32) *wile.Key { return key }
+	decoded, skipped := 0, 0
+	for _, fr := range frames {
+		f, err := dot11.Decode(fr.Data)
+		if err != nil {
+			// Tolerate captures without FCS.
+			if f, err = dot11.DecodeNoFCS(fr.Data); err != nil {
+				skipped++
+				continue
+			}
+		}
+		beacon, ok := f.(*dot11.Beacon)
+		if !ok {
+			skipped++
+			continue
+		}
+		msg, err := wile.DecodeBeacon(beacon, keyFor)
+		if err != nil {
+			skipped++
+			continue
+		}
+		decoded++
+		fmt.Printf("t=%-12v device=%08x seq=%-4d", fr.Time, msg.DeviceID, msg.Seq)
+		for _, r := range msg.Readings {
+			fmt.Printf("  %s", formatReading(r))
+		}
+		if msg.RxWindow > 0 {
+			fmt.Printf("  [rx-window %v]", msg.RxWindow)
+		}
+		if msg.Downlink {
+			fmt.Printf("  [downlink]")
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d Wi-LE messages decoded, %d other frames skipped\n", decoded, skipped)
+	return nil
+}
+
+func formatReading(r wile.Reading) string {
+	switch r.Type {
+	case wile.ReadingTemperature:
+		return fmt.Sprintf("%.2f°C", r.Celsius())
+	case wile.ReadingHumidity:
+		return fmt.Sprintf("%.1f%%RH", r.Percent())
+	case wile.ReadingBatteryMV:
+		return fmt.Sprintf("%dmV", r.Value)
+	case wile.ReadingCounter:
+		return fmt.Sprintf("count=%d", r.Value)
+	default:
+		return fmt.Sprintf("raw=%q", r.Raw)
+	}
+}
+
+type frame struct {
+	Time time.Duration
+	Data []byte
+}
+
+func loadFrames(path string) ([]frame, error) {
+	if path == "-" {
+		return readHex(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]frame, 0, len(pkts))
+	for _, p := range pkts {
+		data := p.Data
+		if r.LinkType() == pcap.LinkTypeRadiotap {
+			inner, _, err := pcap.StripRadiotap(data)
+			if err != nil {
+				continue // tolerate malformed radiotap records
+			}
+			data = inner
+		}
+		out = append(out, frame{Time: p.Time, Data: data})
+	}
+	return out, nil
+}
+
+func readHex(r io.Reader) ([]frame, error) {
+	var out []frame
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		data, err := hex.DecodeString(text)
+		if err != nil {
+			return nil, fmt.Errorf("stdin line %d: %w", line, err)
+		}
+		out = append(out, frame{Data: data})
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+// Command wile-trace exports the Figure 3 current traces as CSV for
+// plotting: the 50 kSa/s waveform of a WiFi-DC transmission (fig3a) and of
+// a Wi-LE transmission (fig3b), with phase annotations as comment lines.
+//
+// Usage:
+//
+//	wile-trace fig3a > fig3a.csv
+//	wile-trace fig3b > fig3b.csv
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"wile/internal/experiment"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: wile-trace {fig3a|fig3b}")
+		os.Exit(2)
+	}
+	var runner func() (*experiment.Trace, error)
+	switch os.Args[1] {
+	case "fig3a":
+		runner = experiment.RunFig3a
+	case "fig3b":
+		runner = experiment.RunFig3b
+	default:
+		fmt.Fprintf(os.Stderr, "wile-trace: unknown trace %q\n", os.Args[1])
+		os.Exit(2)
+	}
+	tr, err := runner()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wile-trace:", err)
+		os.Exit(1)
+	}
+	if err := tr.WriteCSV(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wile-trace:", err)
+		os.Exit(1)
+	}
+}

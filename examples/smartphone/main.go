@@ -1,0 +1,100 @@
+// Smartphone: the receiving side the paper emphasizes — "a simple Android
+// or iOS application or other software running on a host can retrieve the
+// sensor's data" with "no software or hardware modifications (e.g., rooting
+// the phone)" (§4).
+//
+// This example is that app, rendered as a terminal dashboard: a home with
+// four Wi-LE devices (fridge, greenhouse, mailbox, water meter) plus a
+// normal WiFi AP on the same channel whose beacons the app correctly
+// ignores. The dashboard refreshes once per virtual minute.
+//
+//	go run ./examples/smartphone
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"wile"
+	"wile/internal/ap"
+	"wile/internal/dot11"
+	"wile/internal/netstack"
+)
+
+type deviceInfo struct {
+	name   string
+	render func(m *wile.Message) string
+}
+
+var known = map[uint32]deviceInfo{
+	0x0001: {"fridge", func(m *wile.Message) string {
+		return fmt.Sprintf("%.1f °C", m.Readings[0].Celsius())
+	}},
+	0x0002: {"greenhouse", func(m *wile.Message) string {
+		return fmt.Sprintf("%.1f °C / %.0f %%RH", m.Readings[0].Celsius(), m.Readings[1].Percent())
+	}},
+	0x0003: {"mailbox", func(m *wile.Message) string {
+		return fmt.Sprintf("opened %d times", m.Readings[0].Value)
+	}},
+	0x0004: {"water meter", func(m *wile.Message) string {
+		return fmt.Sprintf("%d liters", m.Readings[0].Value)
+	}},
+}
+
+func main() {
+	sched := wile.NewScheduler()
+	med := wile.NewMedium(sched, wile.Channel(6))
+
+	// The home's real AP shares the channel; Wi-LE coexists with it and
+	// the phone's scanner must not confuse its beacons for sensor data.
+	homeAP := ap.New(sched, med, ap.Config{
+		SSID: "home-wifi", Passphrase: "hunter2hunter2",
+		BSSID: dot11.MustParseMAC("aa:bb:cc:dd:ee:01"), Channel: 6,
+		IP: netstack.MustParseIP("192.168.1.1"),
+	})
+	homeAP.Start()
+
+	// Four sensors with different periods and positions.
+	mkSensor := func(id uint32, period time.Duration, x, y float64, sample func(i int) []wile.Reading) {
+		s := wile.NewSensor(sched, med, wile.SensorConfig{
+			DeviceID: id, Period: period, Position: wile.Position{X: x, Y: y},
+		})
+		i := 0
+		s.Sample = func() []wile.Reading { i++; return sample(i) }
+		s.Run()
+	}
+	mkSensor(0x0001, 2*time.Minute, 1, 1, func(i int) []wile.Reading {
+		return []wile.Reading{wile.Temperature(4.0 + 0.1*float64(i%5))}
+	})
+	mkSensor(0x0002, 5*time.Minute, 6, 2, func(i int) []wile.Reading {
+		return []wile.Reading{wile.Temperature(26 + 0.5*float64(i%3)), wile.Humidity(60 + float64(i%8))}
+	})
+	mkSensor(0x0003, 10*time.Minute, 3, 7, func(i int) []wile.Reading {
+		return []wile.Reading{wile.Counter(uint32(i / 3))}
+	})
+	mkSensor(0x0004, time.Minute, 5, 5, func(i int) []wile.Reading {
+		return []wile.Reading{wile.Counter(uint32(140 * i))}
+	})
+
+	phone := wile.NewScanner(sched, med, wile.ScannerConfig{
+		Name: "phone", Position: wile.Position{X: 3, Y: 3},
+	})
+	phone.Start()
+
+	// Render the dashboard every 10 virtual minutes for an hour.
+	for tick := 1; tick <= 6; tick++ {
+		sched.RunFor(10 * time.Minute)
+		fmt.Printf("── %2d min ─────────────────────────────────────────────\n", tick*10)
+		for _, d := range phone.Devices() {
+			info, ok := known[d.DeviceID]
+			if !ok {
+				continue
+			}
+			age := sched.Now().Sub(d.LastSeen).Round(time.Second)
+			fmt.Printf("  %-12s %-24s %4d msgs  %v  %v ago\n",
+				info.name, info.render(d.Last), d.Messages, d.LastRSSI, age)
+		}
+	}
+	fmt.Printf("\nphone saw %d Wi-LE beacons and ignored %d beacons from %q\n",
+		phone.Stats.BeaconsSeen, phone.Stats.OtherBeacons, "home-wifi")
+}

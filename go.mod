@@ -1,0 +1,3 @@
+module wile
+
+go 1.22

@@ -1,0 +1,396 @@
+package ap
+
+import (
+	"strings"
+	"testing"
+
+	"wile/internal/dot11"
+	"wile/internal/mac"
+	"wile/internal/medium"
+	"wile/internal/netstack"
+	"wile/internal/phy"
+	"wile/internal/sim"
+)
+
+var (
+	bssid   = dot11.MustParseMAC("aa:bb:cc:00:00:01")
+	staAddr = dot11.MustParseMAC("02:57:00:00:00:05")
+)
+
+type fixture struct {
+	sched *sim.Scheduler
+	med   *medium.Medium
+	ap    *AP
+	sta   *mac.Port // raw MAC port standing in for a station
+}
+
+func newFixture() *fixture {
+	sched := sim.New()
+	med := medium.New(sched, phy.WiFi24Channel(6))
+	a := New(sched, med, Config{
+		SSID:       "lab-net",
+		Passphrase: "correct horse battery staple",
+		BSSID:      bssid,
+		Channel:    6,
+		IP:         netstack.MustParseIP("192.168.86.1"),
+	})
+	a.Start()
+	p := mac.New(sched, med, "fake-sta", medium.Position{X: 2, Y: 0}, staAddr,
+		phy.RateHTMCS7, 0, phy.SensitivityWiFi1M, sim.NewRand(5))
+	p.SetRadioOn(true)
+	return &fixture{sched: sched, med: med, ap: a, sta: p}
+}
+
+func TestBeaconCadenceAndContents(t *testing.T) {
+	fx := newFixture()
+	var beacons []*dot11.Beacon
+	var times []sim.Time
+	fx.sta.Handler = func(f dot11.Frame, rx medium.Reception) {
+		if b, ok := f.(*dot11.Beacon); ok {
+			// Copy the elements out of the reception buffer.
+			cp := *b
+			cp.Elements = append(dot11.Elements(nil), b.Elements...)
+			beacons = append(beacons, &cp)
+			times = append(times, fx.sched.Now())
+		}
+	}
+	fx.sched.RunUntil(sim.Second + 60*sim.Millisecond)
+	// 102.4 ms interval → 10 beacons within 1.06 s.
+	if len(beacons) != 10 {
+		t.Fatalf("received %d beacons, want 10", len(beacons))
+	}
+	for i := 1; i < len(times); i++ {
+		gap := times[i].Sub(times[i-1])
+		if gap < 100*TU/100*99 || gap > 106*TU/100*100 {
+			// Allow a couple of slots of DCF jitter around 102.4 ms.
+			if gap < TU*99 || gap > TU*106 {
+				t.Fatalf("beacon gap %v outside 102.4 ms ± jitter", gap)
+			}
+		}
+	}
+	b := beacons[0]
+	if ssid, hidden, ok := b.Elements.SSID(); !ok || hidden || ssid != "lab-net" {
+		t.Errorf("beacon SSID %q hidden=%v", ssid, hidden)
+	}
+	if !b.Capability.Has(dot11.CapESS | dot11.CapPrivacy) {
+		t.Errorf("capability %04x", b.Capability)
+	}
+	if ch, ok := b.Elements.DSChannel(); !ok || ch != 6 {
+		t.Errorf("channel %d", ch)
+	}
+	if _, ok := b.Elements.Find(dot11.ElementTIM); !ok {
+		t.Error("beacon missing TIM")
+	}
+	if _, ok := b.Elements.Find(dot11.ElementRSN); !ok {
+		t.Error("beacon missing RSN")
+	}
+	if b.Timestamp == 0 {
+		t.Error("beacon timestamp unset")
+	}
+}
+
+func TestProbeResponseFiltering(t *testing.T) {
+	fx := newFixture()
+	responses := 0
+	fx.sta.Handler = func(f dot11.Frame, rx medium.Reception) {
+		if _, ok := f.(*dot11.ProbeResp); ok {
+			responses++
+		}
+	}
+	sendProbe := func(ssid string, wildcard bool) {
+		els := dot11.Elements{dot11.DefaultRates()}
+		if wildcard {
+			els = append(dot11.Elements{dot11.SSIDElement("")}, els...)
+		} else {
+			els = append(dot11.Elements{dot11.SSIDElement(ssid)}, els...)
+		}
+		req := &dot11.ProbeReq{Elements: els}
+		req.Header.Addr1 = dot11.Broadcast
+		req.Header.Addr2 = staAddr
+		req.Header.Addr3 = dot11.Broadcast
+		fx.sta.Send(req, nil)
+		fx.sched.RunFor(50 * sim.Millisecond.Duration())
+	}
+	sendProbe("lab-net", false)
+	if responses != 1 {
+		t.Fatalf("directed probe: %d responses", responses)
+	}
+	sendProbe("", true)
+	if responses != 2 {
+		t.Fatalf("wildcard probe: %d responses", responses)
+	}
+	sendProbe("other-net", false)
+	if responses != 2 {
+		t.Fatalf("foreign probe answered: %d responses", responses)
+	}
+	if fx.ap.Stats.ProbeResponses != 2 {
+		t.Fatalf("AP counted %d probe responses", fx.ap.Stats.ProbeResponses)
+	}
+}
+
+func TestAssocWithoutAuthDenied(t *testing.T) {
+	fx := newFixture()
+	var status *dot11.StatusCode
+	fx.sta.Handler = func(f dot11.Frame, rx medium.Reception) {
+		if r, ok := f.(*dot11.AssocResp); ok {
+			s := r.Status
+			status = &s
+		}
+	}
+	req := &dot11.AssocReq{Capability: dot11.CapESS,
+		Elements: dot11.Elements{dot11.SSIDElement("lab-net"), dot11.RSNElement(dot11.DefaultRSN())}}
+	req.Header.Addr1 = bssid
+	req.Header.Addr2 = staAddr
+	req.Header.Addr3 = bssid
+	fx.sta.Send(req, nil)
+	fx.sched.RunFor(100 * sim.Millisecond.Duration())
+	if status == nil {
+		t.Fatal("no assoc response")
+	}
+	if *status == dot11.StatusSuccess {
+		t.Fatal("unauthenticated association accepted")
+	}
+}
+
+func TestAssocWithoutRSNRejected(t *testing.T) {
+	fx := newFixture()
+	// Authenticate first.
+	auth := &dot11.Auth{Algorithm: dot11.AuthOpen, Seq: 1}
+	auth.Header.Addr1 = bssid
+	auth.Header.Addr2 = staAddr
+	auth.Header.Addr3 = bssid
+	fx.sta.Send(auth, nil)
+	fx.sched.RunFor(50 * sim.Millisecond.Duration())
+
+	var status *dot11.StatusCode
+	fx.sta.Handler = func(f dot11.Frame, rx medium.Reception) {
+		if r, ok := f.(*dot11.AssocResp); ok {
+			s := r.Status
+			status = &s
+		}
+	}
+	req := &dot11.AssocReq{Capability: dot11.CapESS,
+		Elements: dot11.Elements{dot11.SSIDElement("lab-net")}} // no RSN
+	req.Header.Addr1 = bssid
+	req.Header.Addr2 = staAddr
+	req.Header.Addr3 = bssid
+	fx.sta.Send(req, nil)
+	fx.sched.RunFor(100 * sim.Millisecond.Duration())
+	if status == nil || *status != dot11.StatusInvalidRSN {
+		t.Fatalf("status = %v, want invalid-RSN", status)
+	}
+}
+
+// enterDozing authenticates and associates the fake station (so it holds
+// an AID the TIM can index), then marks it dozing via a null frame.
+func (fx *fixture) enterDozing(t *testing.T) {
+	t.Helper()
+	auth := &dot11.Auth{Algorithm: dot11.AuthOpen, Seq: 1}
+	auth.Header.Addr1 = bssid
+	auth.Header.Addr2 = staAddr
+	auth.Header.Addr3 = bssid
+	fx.sta.Send(auth, nil)
+	fx.sched.RunFor(50 * sim.Millisecond.Duration())
+	assoc := &dot11.AssocReq{Capability: dot11.CapESS, ListenInterval: 3,
+		Elements: dot11.Elements{dot11.SSIDElement("lab-net"), dot11.RSNElement(dot11.DefaultRSN())}}
+	assoc.Header.Addr1 = bssid
+	assoc.Header.Addr2 = staAddr
+	assoc.Header.Addr3 = bssid
+	fx.sta.Send(assoc, nil)
+	fx.sched.RunFor(50 * sim.Millisecond.Duration())
+	info, ok := fx.ap.Station(staAddr)
+	if !ok || !info.Associated || info.AID == 0 {
+		t.Fatalf("association failed: %+v", info)
+	}
+	fx.sta.Send(dot11.NewNull(bssid, staAddr, true), nil)
+	fx.sched.RunFor(50 * sim.Millisecond.Duration())
+	info, ok = fx.ap.Station(staAddr)
+	if !ok || !info.Dozing {
+		t.Fatal("station not dozing at AP")
+	}
+}
+
+func TestPSBufferingAndTIM(t *testing.T) {
+	fx := newFixture()
+	fx.enterDozing(t)
+
+	// Downlink while dozing must be buffered, not transmitted.
+	dataFrames := 0
+	var timSawUs bool
+	fx.sta.Handler = func(f dot11.Frame, rx medium.Reception) {
+		switch g := f.(type) {
+		case *dot11.Data:
+			dataFrames++
+		case *dot11.Beacon:
+			if info, ok := g.Elements.Find(dot11.ElementTIM); ok {
+				if tim, err := dot11.ParseTIM(info); err == nil && len(tim.Buffered) > 0 {
+					timSawUs = true
+				}
+			}
+		}
+	}
+	fx.ap.sendDownlink(staAddr, bssid, netstack.WrapSNAP(netstack.EtherTypeIPv4, []byte("queued")))
+	fx.sched.RunFor(300 * sim.Millisecond.Duration())
+
+	if dataFrames != 0 {
+		t.Fatal("AP transmitted to a dozing station")
+	}
+	info, _ := fx.ap.Station(staAddr)
+	if info.Buffered != 1 {
+		t.Fatalf("buffered = %d", info.Buffered)
+	}
+	if !timSawUs {
+		t.Fatal("TIM never advertised buffered traffic")
+	}
+	if fx.ap.Stats.BufferedFrames != 1 {
+		t.Fatalf("stats.BufferedFrames = %d", fx.ap.Stats.BufferedFrames)
+	}
+}
+
+func TestPSPollReleasesOneFrame(t *testing.T) {
+	fx := newFixture()
+	fx.enterDozing(t)
+	fx.ap.sendDownlink(staAddr, bssid, netstack.WrapSNAP(netstack.EtherTypeIPv4, []byte("one")))
+	fx.ap.sendDownlink(staAddr, bssid, netstack.WrapSNAP(netstack.EtherTypeIPv4, []byte("two")))
+
+	var got []*dot11.Data
+	fx.sta.Handler = func(f dot11.Frame, rx medium.Reception) {
+		if d, ok := f.(*dot11.Data); ok {
+			cp := *d
+			cp.Payload = append([]byte(nil), d.Payload...)
+			got = append(got, &cp)
+		}
+	}
+	poll := &dot11.PSPoll{AID: 1, BSSID: bssid, Transmitter: staAddr}
+	fx.sta.Send(poll, nil)
+	fx.sched.RunFor(100 * sim.Millisecond.Duration())
+
+	if len(got) != 1 {
+		t.Fatalf("PS-Poll released %d frames, want 1", len(got))
+	}
+	if !got[0].Header.FC.MoreData {
+		t.Fatal("MoreData bit unset with a second frame buffered")
+	}
+	fx.sta.Send(&dot11.PSPoll{AID: 1, BSSID: bssid, Transmitter: staAddr}, nil)
+	fx.sched.RunFor(100 * sim.Millisecond.Duration())
+	if len(got) != 2 {
+		t.Fatalf("second PS-Poll released %d frames total", len(got))
+	}
+	if got[1].Header.FC.MoreData {
+		t.Fatal("MoreData bit set with empty buffer")
+	}
+	if fx.ap.Stats.PSPollsServiced != 2 {
+		t.Fatalf("PSPollsServiced = %d", fx.ap.Stats.PSPollsServiced)
+	}
+}
+
+func TestWakeFlushesBuffer(t *testing.T) {
+	fx := newFixture()
+	fx.enterDozing(t)
+	fx.ap.sendDownlink(staAddr, bssid, netstack.WrapSNAP(netstack.EtherTypeIPv4, []byte("held")))
+
+	got := 0
+	fx.sta.Handler = func(f dot11.Frame, rx medium.Reception) {
+		if _, ok := f.(*dot11.Data); ok {
+			got++
+		}
+	}
+	// Null frame with PM clear = awake.
+	fx.sta.Send(dot11.NewNull(bssid, staAddr, false), nil)
+	fx.sched.RunFor(100 * sim.Millisecond.Duration())
+	if got != 1 {
+		t.Fatalf("wake flushed %d frames, want 1", got)
+	}
+	info, _ := fx.ap.Station(staAddr)
+	if info.Dozing || info.Buffered != 0 {
+		t.Fatalf("post-wake state: %+v", info)
+	}
+}
+
+func TestDeauthForgetsStation(t *testing.T) {
+	fx := newFixture()
+	fx.enterDozing(t) // creates state
+	d := &dot11.Deauth{Reason: dot11.ReasonLeaving}
+	d.Header.Addr1 = bssid
+	d.Header.Addr2 = staAddr
+	d.Header.Addr3 = bssid
+	fx.sta.Send(d, nil)
+	fx.sched.RunFor(50 * sim.Millisecond.Duration())
+	if _, ok := fx.ap.Station(staAddr); ok {
+		t.Fatal("AP retains deauthed station")
+	}
+}
+
+func TestStopSilencesAP(t *testing.T) {
+	fx := newFixture()
+	beacons := 0
+	fx.sta.Handler = func(f dot11.Frame, rx medium.Reception) {
+		if _, ok := f.(*dot11.Beacon); ok {
+			beacons++
+		}
+	}
+	fx.sched.RunFor(300 * sim.Millisecond.Duration())
+	if beacons == 0 {
+		t.Fatal("no beacons before Stop")
+	}
+	n := beacons
+	fx.ap.Stop()
+	fx.sched.RunFor(sim.Second.Duration())
+	if beacons != n {
+		t.Fatal("beacons after Stop")
+	}
+}
+
+func TestBadAuthAlgorithmRejected(t *testing.T) {
+	fx := newFixture()
+	var status *dot11.StatusCode
+	fx.sta.Handler = func(f dot11.Frame, rx medium.Reception) {
+		if a, ok := f.(*dot11.Auth); ok {
+			s := a.Status
+			status = &s
+		}
+	}
+	req := &dot11.Auth{Algorithm: dot11.AuthSAE, Seq: 1} // we only do open system
+	req.Header.Addr1 = bssid
+	req.Header.Addr2 = staAddr
+	req.Header.Addr3 = bssid
+	fx.sta.Send(req, nil)
+	fx.sched.RunFor(100 * sim.Millisecond.Duration())
+	if status == nil || *status == dot11.StatusSuccess {
+		t.Fatalf("SAE auth outcome: %v", status)
+	}
+	if fx.ap.Stats.AuthAccepted != 0 {
+		t.Fatal("AP counted a rejected auth as accepted")
+	}
+}
+
+func TestDisassocKeepsAuthDropsAssoc(t *testing.T) {
+	fx := newFixture()
+	fx.enterDozing(t) // authenticates + associates
+	d := &dot11.Disassoc{Reason: dot11.ReasonDisassocLeaving}
+	d.Header.Addr1 = bssid
+	d.Header.Addr2 = staAddr
+	d.Header.Addr3 = bssid
+	fx.sta.Send(d, nil)
+	fx.sched.RunFor(50 * sim.Millisecond.Duration())
+	info, ok := fx.ap.Station(staAddr)
+	if !ok {
+		t.Fatal("disassoc erased the station entirely")
+	}
+	if info.Associated || info.Secured {
+		// expected: association dropped
+	} else if info.AID == 0 {
+		t.Fatal("AID lost on disassoc")
+	}
+	if info.Associated {
+		t.Fatal("still associated after disassoc")
+	}
+}
+
+func TestAPString(t *testing.T) {
+	fx := newFixture()
+	s := fx.ap.String()
+	if s == "" || !strings.Contains(s, "lab-net") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,163 @@
+// Package battery models the power source the paper's battery-life claims
+// assume: a coin cell (or AA pair) with finite capacity, internal
+// resistance, and a load-dependent terminal voltage.
+//
+// This matters for Wi-LE specifically. The energy numbers say a Wi-LE
+// device rivals BLE on a CR2032 — but a CR2032's internal resistance is
+// tens of ohms, and a WiFi transmit burst draws ~180 mA: the terminal
+// voltage sags by I·R ≈ several volts, far below the ESP32's brownout
+// threshold. BLE radios draw ≤20 mA and survive. The practical fix (and
+// what real WiFi-on-coin-cell designs do) is a bulk capacitor that supplies
+// the burst while the cell recharges it between transmissions. The model
+// here lets the repository demonstrate both the failure and the fix
+// quantitatively (see the tests and cmd/wile-lab's battery projection).
+package battery
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Chemistry describes one battery type.
+type Chemistry struct {
+	Name string
+	// NominalV is the open-circuit voltage when full.
+	NominalV float64
+	// CutoffV is the terminal voltage at which the cell is spent.
+	CutoffV float64
+	// CapacityMAh is the rated capacity at low drain.
+	CapacityMAh float64
+	// InternalOhms is the fresh-cell internal resistance.
+	InternalOhms float64
+	// EndOfLifeOhms is the internal resistance near depletion (coin cells
+	// roughly triple).
+	EndOfLifeOhms float64
+}
+
+// Standard cells used by the examples and projections.
+var (
+	// CR2032: the "small button battery" of the paper's BLE claim.
+	CR2032 = Chemistry{
+		Name: "CR2032", NominalV: 3.0, CutoffV: 2.0,
+		CapacityMAh: 225, InternalOhms: 15, EndOfLifeOhms: 50,
+	}
+	// AA2 is a pair of alkaline AAs in series — what ESP32 sensor designs
+	// actually ship with.
+	AA2 = Chemistry{
+		Name: "2×AA", NominalV: 3.0, CutoffV: 2.2,
+		CapacityMAh: 2500, InternalOhms: 0.3, EndOfLifeOhms: 1.0,
+	}
+	// LiSOCl2AA is a lithium thionyl chloride AA, the long-life industrial
+	// IoT favourite.
+	LiSOCl2AA = Chemistry{
+		Name: "Li-SOCl2 AA", NominalV: 3.6, CutoffV: 3.0,
+		CapacityMAh: 2400, InternalOhms: 20, EndOfLifeOhms: 60,
+	}
+)
+
+// Cell is one discharging battery.
+type Cell struct {
+	Chem Chemistry
+	// drawnMAh accumulates delivered charge.
+	drawnMAh float64
+}
+
+// NewCell returns a fresh cell.
+func NewCell(chem Chemistry) *Cell { return &Cell{Chem: chem} }
+
+// StateOfCharge reports the remaining fraction (0..1).
+func (c *Cell) StateOfCharge() float64 {
+	soc := 1 - c.drawnMAh/c.Chem.CapacityMAh
+	return math.Max(0, soc)
+}
+
+// internalOhms interpolates resistance with depletion.
+func (c *Cell) internalOhms() float64 {
+	soc := c.StateOfCharge()
+	return c.Chem.EndOfLifeOhms + (c.Chem.InternalOhms-c.Chem.EndOfLifeOhms)*soc
+}
+
+// openCircuitV models the gentle voltage slope over discharge.
+func (c *Cell) openCircuitV() float64 {
+	soc := c.StateOfCharge()
+	// Flat-ish plateau dropping toward cutoff in the last 20%.
+	if soc > 0.2 {
+		return c.Chem.NominalV - 0.1*(1-soc)
+	}
+	plateau := c.Chem.NominalV - 0.08
+	return c.Chem.CutoffV + (plateau-c.Chem.CutoffV)*(soc/0.2)
+}
+
+// TerminalV reports the loaded terminal voltage at the given draw.
+func (c *Cell) TerminalV(loadA float64) float64 {
+	return c.openCircuitV() - loadA*c.internalOhms()
+}
+
+// CanSupply reports whether the cell holds the rail above minV at the
+// given draw.
+func (c *Cell) CanSupply(loadA, minV float64) bool {
+	return c.StateOfCharge() > 0 && c.TerminalV(loadA) >= minV
+}
+
+// Drain removes charge for a draw sustained for d.
+func (c *Cell) Drain(loadA float64, d time.Duration) {
+	c.drawnMAh += loadA * 1000 * d.Hours()
+}
+
+// Depleted reports whether the cell can no longer hold the cutoff voltage
+// even unloaded.
+func (c *Cell) Depleted() bool {
+	return c.StateOfCharge() <= 0 || c.openCircuitV() < c.Chem.CutoffV
+}
+
+// String implements fmt.Stringer.
+func (c *Cell) String() string {
+	return fmt.Sprintf("%s: %.0f%% (%.1fΩ, %.2fV open-circuit)",
+		c.Chem.Name, c.StateOfCharge()*100, c.internalOhms(), c.openCircuitV())
+}
+
+// BulkCapacitor buffers transmit bursts: the cell charges it slowly
+// through a current-limited path; bursts draw from it. This is the
+// standard fix for WiFi peaks on high-impedance cells.
+type BulkCapacitor struct {
+	// Farads is the capacitance.
+	Farads float64
+	// V is the current capacitor voltage.
+	V float64
+}
+
+// NewBulkCapacitor returns a capacitor charged to v.
+func NewBulkCapacitor(farads, v float64) *BulkCapacitor {
+	return &BulkCapacitor{Farads: farads, V: v}
+}
+
+// SupplyBurst draws a constant current for d from the capacitor, returning
+// the ending voltage: V - I·t/C.
+func (b *BulkCapacitor) SupplyBurst(loadA float64, d time.Duration) float64 {
+	b.V -= loadA * d.Seconds() / b.Farads
+	if b.V < 0 {
+		b.V = 0
+	}
+	return b.V
+}
+
+// Recharge restores the capacitor to the source voltage (the between-burst
+// trickle; at IoT duty cycles the recharge current is microamps and always
+// completes).
+func (b *BulkCapacitor) Recharge(sourceV float64) { b.V = sourceV }
+
+// BurstSurvivable reports whether a capacitor of the given size can hold
+// the rail above minV through one burst of loadA for d, starting from
+// startV — the sizing equation C ≥ I·t/(Vstart−Vmin).
+func BurstSurvivable(farads, startV, minV, loadA float64, d time.Duration) bool {
+	return startV-loadA*d.Seconds()/farads >= minV
+}
+
+// MinCapacitorFarads sizes the bulk capacitor for a burst.
+func MinCapacitorFarads(startV, minV, loadA float64, d time.Duration) float64 {
+	if startV <= minV {
+		return math.Inf(1)
+	}
+	return loadA * d.Seconds() / (startV - minV)
+}

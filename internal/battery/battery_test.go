@@ -1,0 +1,160 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// ESP32 electrical facts used in the scenarios.
+const (
+	brownoutV  = 2.43 // ESP32 default brownout threshold
+	txBurstA   = 0.18
+	txBurstDur = 150 * time.Microsecond
+)
+
+func TestFreshCellsStartFull(t *testing.T) {
+	for _, chem := range []Chemistry{CR2032, AA2, LiSOCl2AA} {
+		c := NewCell(chem)
+		if c.StateOfCharge() != 1 {
+			t.Errorf("%s SoC = %v", chem.Name, c.StateOfCharge())
+		}
+		if c.Depleted() {
+			t.Errorf("%s born depleted", chem.Name)
+		}
+		if v := c.TerminalV(0); math.Abs(v-chem.NominalV) > 0.01 {
+			t.Errorf("%s unloaded voltage %v", chem.Name, v)
+		}
+	}
+}
+
+func TestCR2032CannotSupplyWiFiBurst(t *testing.T) {
+	// The deployment reality behind the paper's coin-cell comparison: a
+	// fresh CR2032 sags 0.18 A × 15 Ω = 2.7 V under a WiFi TX burst —
+	// instant brownout. BLE's ≤20 mA peak survives easily.
+	c := NewCell(CR2032)
+	if c.CanSupply(txBurstA, brownoutV) {
+		t.Fatalf("CR2032 claims to supply 180 mA (terminal %.2f V)", c.TerminalV(txBurstA))
+	}
+	if !c.CanSupply(0.020, brownoutV) {
+		t.Fatalf("CR2032 cannot even supply a BLE burst (terminal %.2f V)", c.TerminalV(0.020))
+	}
+}
+
+func TestAAPairSuppliesWiFiBurstDirectly(t *testing.T) {
+	c := NewCell(AA2)
+	if !c.CanSupply(txBurstA, brownoutV) {
+		t.Fatalf("2×AA sags to %.2f V under TX", c.TerminalV(txBurstA))
+	}
+}
+
+func TestBulkCapacitorFixesTheCoinCell(t *testing.T) {
+	// The standard fix: a bulk capacitor supplies the burst; the cell
+	// recharges it at microamp rates between 10-minute reports.
+	need := MinCapacitorFarads(3.0, brownoutV, txBurstA, txBurstDur)
+	// The sizing math: 0.18 A × 150 µs / 0.57 V ≈ 47 µF — a tiny ceramic.
+	if need > 100e-6 {
+		t.Fatalf("required capacitor %.0f µF implausibly large", need*1e6)
+	}
+	cap := NewBulkCapacitor(need*2, 3.0) // 2× margin
+	if v := cap.SupplyBurst(txBurstA, txBurstDur); v < brownoutV {
+		t.Fatalf("rail fell to %.2f V through the burst", v)
+	}
+	cap.Recharge(3.0)
+	if cap.V != 3.0 {
+		t.Fatal("recharge failed")
+	}
+	// Undersized capacitor fails, as the sizing equation predicts.
+	small := NewBulkCapacitor(need/4, 3.0)
+	if v := small.SupplyBurst(txBurstA, txBurstDur); v >= brownoutV {
+		t.Fatalf("undersized capacitor held %.2f V", v)
+	}
+	if BurstSurvivable(need/4, 3.0, brownoutV, txBurstA, txBurstDur) {
+		t.Fatal("BurstSurvivable disagrees with SupplyBurst")
+	}
+	if !BurstSurvivable(need*2, 3.0, brownoutV, txBurstA, txBurstDur) {
+		t.Fatal("properly sized capacitor reported unsurvivable")
+	}
+}
+
+func TestDrainDepletesCell(t *testing.T) {
+	c := NewCell(CR2032)
+	// 225 mAh at 1 mA lasts 225 h; drain 200 h and the cell is low but
+	// alive, drain past capacity and it is dead.
+	c.Drain(0.001, 200*time.Hour)
+	if c.Depleted() {
+		t.Fatal("cell died early")
+	}
+	if soc := c.StateOfCharge(); math.Abs(soc-(1-200.0/225.0)) > 0.01 {
+		t.Fatalf("SoC = %v", soc)
+	}
+	c.Drain(0.001, 50*time.Hour)
+	if !c.Depleted() {
+		t.Fatal("cell survived past its capacity")
+	}
+}
+
+func TestInternalResistanceRisesWithDepletion(t *testing.T) {
+	c := NewCell(CR2032)
+	fresh := c.internalOhms()
+	c.Drain(0.001, 150*time.Hour)
+	worn := c.internalOhms()
+	if worn <= fresh {
+		t.Fatalf("resistance did not rise: %.1f → %.1f", fresh, worn)
+	}
+	// A worn coin cell fails even smaller bursts — the "battery was fine
+	// yesterday" failure mode.
+	if c.CanSupply(0.050, brownoutV) {
+		t.Fatal("worn CR2032 claims to supply 50 mA")
+	}
+}
+
+func TestVoltageMonotoneInLoad(t *testing.T) {
+	f := func(loadMA uint16) bool {
+		c := NewCell(CR2032)
+		load := float64(loadMA%500) / 1000
+		return c.TerminalV(load) <= c.TerminalV(0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDrainMonotone(t *testing.T) {
+	f := func(steps []uint8) bool {
+		c := NewCell(AA2)
+		prev := c.StateOfCharge()
+		for _, s := range steps {
+			c.Drain(float64(s)/1000, time.Hour)
+			soc := c.StateOfCharge()
+			if soc > prev {
+				return false
+			}
+			prev = soc
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenCircuitVoltageFallsNearEnd(t *testing.T) {
+	c := NewCell(CR2032)
+	c.Drain(0.001, 215*time.Hour) // ~95% drained
+	v := c.openCircuitV()
+	if v >= CR2032.NominalV-0.1 {
+		t.Fatalf("nearly-dead cell still reads %.2f V", v)
+	}
+	if v < CR2032.CutoffV {
+		t.Fatalf("voltage %.2f V below cutoff while SoC > 0", v)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := NewCell(CR2032).String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,169 @@
+package ble
+
+import (
+	"time"
+
+	"wile/internal/medium"
+	"wile/internal/phy"
+	"wile/internal/sim"
+)
+
+// BLE advertising over the simulated radio medium: the protocol-level
+// counterpart of Wi-LE's beacon injection, for head-to-head comparisons
+// beyond energy (payload per event, discovery latency, channel behaviour).
+//
+// A BLE advertiser transmits each advertising PDU three times per event —
+// once on each advertising channel (37, 38, 39) — while a scanner dwells
+// on one channel at a time. The three mediums here model the three
+// channels; the advertiser walks them with the standard 10 ms max gap and
+// the spec's 0–10 ms advDelay jitter per event.
+
+// AdvertiserConfig parameterizes a BLE advertiser.
+type AdvertiserConfig struct {
+	Addr Address
+	// Interval is advInterval (20 ms .. 10.24 s per spec).
+	Interval time.Duration
+	// Data is the AdvData payload (≤31 bytes).
+	Data []byte
+	// Position places the radio.
+	Position medium.Position
+	// Seed seeds the advDelay jitter.
+	Seed uint64
+}
+
+// Advertiser transmits ADV_NONCONN_IND events across the three channels.
+type Advertiser struct {
+	Cfg AdvertiserConfig
+	// Stats counts events and PDUs.
+	Stats AdvertiserStats
+
+	sched   *sim.Scheduler
+	trx     [3]*medium.Transceiver
+	meds    [3]*medium.Medium
+	rng     *sim.Rand
+	running bool
+}
+
+// AdvertiserStats counts transmitter activity.
+type AdvertiserStats struct {
+	Events int
+	PDUs   int
+}
+
+// interPDUGap is the pause between the per-channel copies within one
+// advertising event (spec: ≤10 ms; typical radios use ~400 µs).
+const interPDUGap = 400 * time.Microsecond
+
+// NewAdvertiser attaches an advertiser to the three advertising-channel
+// mediums (index 0 → channel 37, 1 → 38, 2 → 39).
+func NewAdvertiser(sched *sim.Scheduler, meds [3]*medium.Medium, cfg AdvertiserConfig) *Advertiser {
+	if cfg.Interval == 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0xb1e
+	}
+	a := &Advertiser{Cfg: cfg, sched: sched, meds: meds, rng: sim.NewRand(cfg.Seed)}
+	for i, med := range meds {
+		a.trx[i] = med.Attach("ble-adv", cfg.Position, 0, phy.SensitivityBLE)
+	}
+	return a
+}
+
+// Run starts periodic advertising events.
+func (a *Advertiser) Run() {
+	if a.running {
+		return
+	}
+	a.running = true
+	a.scheduleEvent()
+}
+
+// Stop halts advertising after the current event.
+func (a *Advertiser) Stop() { a.running = false }
+
+func (a *Advertiser) scheduleEvent() {
+	if !a.running {
+		return
+	}
+	// advInterval + advDelay (0–10 ms pseudo-random, per Core 4.2).
+	delay := a.Cfg.Interval + time.Duration(a.rng.Intn(10_000))*time.Microsecond
+	a.sched.After(delay, func() {
+		a.transmitEvent()
+		a.scheduleEvent()
+	})
+}
+
+// transmitEvent sends the PDU on channels 37, 38, 39 in order.
+func (a *Advertiser) transmitEvent() {
+	a.Stats.Events++
+	pdu := &AdvPDU{Type: PDUAdvNonconnInd, TxAdd: true, AdvA: a.Cfg.Addr, Data: a.Cfg.Data}
+	var step func(i int)
+	step = func(i int) {
+		if i == 3 {
+			return
+		}
+		onAir, err := pdu.MarshalOnAir(AdvChannels[i])
+		if err != nil {
+			return
+		}
+		a.trx[i].SetOn(true)
+		a.meds[i].Transmit(a.trx[i], onAir, phy.RateBLE1M)
+		a.Stats.PDUs++
+		a.sched.After(interPDUGap, func() {
+			a.trx[i].SetOn(false)
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+// ScannerConfig parameterizes a BLE scanner.
+type ScannerConfig struct {
+	Position medium.Position
+	// Channel selects the advertising channel index to dwell on (0..2);
+	// real scanners rotate — callers can build three and alternate.
+	Channel int
+}
+
+// Scanner listens on one advertising channel and reports decoded PDUs.
+type Scanner struct {
+	// OnAdvertisement fires for every CRC-valid advertising PDU.
+	OnAdvertisement func(pdu *AdvPDU, rssi phy.DBm)
+	// Stats counts receptions.
+	Stats BLEScannerStats
+
+	channelIndex int
+	trx          *medium.Transceiver
+}
+
+// BLEScannerStats counts scanner activity.
+type BLEScannerStats struct {
+	PDUs      int
+	CRCErrors int
+}
+
+// NewScanner attaches a scanner to the medium for advertising channel
+// AdvChannels[cfg.Channel].
+func NewScanner(sched *sim.Scheduler, med *medium.Medium, cfg ScannerConfig) *Scanner {
+	sc := &Scanner{channelIndex: cfg.Channel}
+	sc.trx = med.Attach("ble-scan", cfg.Position, 0, phy.SensitivityBLE)
+	sc.trx.Handler = func(rx medium.Reception) {
+		pdu, err := ParseOnAir(AdvChannels[sc.channelIndex], rx.Data)
+		if err != nil {
+			sc.Stats.CRCErrors++
+			return
+		}
+		sc.Stats.PDUs++
+		if sc.OnAdvertisement != nil {
+			sc.OnAdvertisement(pdu, rx.RSSI)
+		}
+	}
+	return sc
+}
+
+// Start powers the scanner radio.
+func (sc *Scanner) Start() { sc.trx.SetOn(true) }
+
+// Stop powers the scanner radio down.
+func (sc *Scanner) Stop() { sc.trx.SetOn(false) }

@@ -1,0 +1,138 @@
+package ble
+
+import (
+	"testing"
+	"time"
+
+	"wile/internal/medium"
+	"wile/internal/phy"
+	"wile/internal/sim"
+)
+
+func newAdvWorld() (*sim.Scheduler, [3]*medium.Medium) {
+	s := sim.New()
+	var meds [3]*medium.Medium
+	for i, ch := range AdvChannels {
+		meds[i] = medium.New(s, phy.BLEAdvChannel(ch))
+	}
+	return s, meds
+}
+
+func TestAdvertiserReachesScannerOnEveryChannel(t *testing.T) {
+	sched, meds := newAdvWorld()
+	adv, err := AppendAD(nil,
+		ADStructure{Type: ADFlags, Data: []byte{0x06}},
+		ADStructure{Type: ADManufacturerData, Data: []byte{0x57, 0x49, 21, 50}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdvertiser(sched, meds, AdvertiserConfig{
+		Addr:     Address{0xc0, 1, 2, 3, 4, 5},
+		Interval: 100 * time.Millisecond,
+		Data:     adv,
+		Position: medium.Position{X: 0},
+	})
+	// One scanner per channel, all always on.
+	var got [3]int
+	for i := range meds {
+		i := i
+		sc := NewScanner(sched, meds[i], ScannerConfig{Position: medium.Position{X: 2}, Channel: i})
+		sc.OnAdvertisement = func(pdu *AdvPDU, rssi phy.DBm) {
+			if pdu.AdvA != a.Cfg.Addr {
+				t.Errorf("wrong address %v", pdu.AdvA)
+			}
+			structures, err := ParseAD(pdu.Data)
+			if err != nil || len(structures) != 2 {
+				t.Errorf("AD parse: %v %v", structures, err)
+			}
+			got[i]++
+		}
+		sc.Start()
+	}
+	a.Run()
+	sched.RunUntil(2 * sim.Second)
+	a.Stop()
+
+	if a.Stats.Events < 15 || a.Stats.Events > 20 {
+		t.Fatalf("%d events in 2 s at ~105 ms interval", a.Stats.Events)
+	}
+	if a.Stats.PDUs != 3*a.Stats.Events {
+		t.Fatalf("PDUs %d != 3×events %d", a.Stats.PDUs, a.Stats.Events)
+	}
+	for i, n := range got {
+		if n != a.Stats.Events {
+			t.Errorf("channel %d scanner caught %d of %d events", AdvChannels[i], n, a.Stats.Events)
+		}
+	}
+}
+
+func TestSingleChannelScannerHearsEveryEventOnce(t *testing.T) {
+	// The scanning trade BLE makes: each event touches all three
+	// channels, so a single-channel scanner still hears every event —
+	// at the cost of the advertiser transmitting everything 3×. (Wi-LE
+	// transmits once; a multi-channel Wi-LE receiver needs hopping.)
+	sched, meds := newAdvWorld()
+	a := NewAdvertiser(sched, meds, AdvertiserConfig{
+		Addr: Address{1}, Interval: 50 * time.Millisecond, Data: []byte{0x02, 0x01, 0x06},
+	})
+	sc := NewScanner(sched, meds[1], ScannerConfig{Channel: 1, Position: medium.Position{X: 1}})
+	count := 0
+	sc.OnAdvertisement = func(*AdvPDU, phy.DBm) { count++ }
+	sc.Start()
+	a.Run()
+	sched.RunUntil(sim.Second)
+	a.Stop()
+	if count != a.Stats.Events {
+		t.Fatalf("scanner heard %d of %d events", count, a.Stats.Events)
+	}
+}
+
+func TestAdvDelayJitterApplied(t *testing.T) {
+	// Events must not land at exact multiples of the interval: the spec's
+	// advDelay adds 0–10 ms of pseudo-random spacing (the same mechanism
+	// §6 relies on for Wi-LE).
+	sched, meds := newAdvWorld()
+	a := NewAdvertiser(sched, meds, AdvertiserConfig{
+		Addr: Address{2}, Interval: 100 * time.Millisecond, Data: []byte{0x02, 0x01, 0x06},
+	})
+	var times []sim.Time
+	sc := NewScanner(sched, meds[0], ScannerConfig{Channel: 0})
+	sc.OnAdvertisement = func(*AdvPDU, phy.DBm) { times = append(times, sched.Now()) }
+	sc.Start()
+	a.Run()
+	sched.RunUntil(3 * sim.Second)
+	a.Stop()
+	if len(times) < 20 {
+		t.Fatalf("only %d events", len(times))
+	}
+	exactGaps := 0
+	for i := 1; i < len(times); i++ {
+		if times[i].Sub(times[i-1]) == 100*time.Millisecond {
+			exactGaps++
+		}
+	}
+	if exactGaps > len(times)/4 {
+		t.Fatalf("%d of %d gaps exactly the interval: no advDelay", exactGaps, len(times)-1)
+	}
+}
+
+func TestScannerStopsHearing(t *testing.T) {
+	sched, meds := newAdvWorld()
+	a := NewAdvertiser(sched, meds, AdvertiserConfig{
+		Addr: Address{3}, Interval: 50 * time.Millisecond, Data: []byte{0x02, 0x01, 0x06},
+	})
+	sc := NewScanner(sched, meds[0], ScannerConfig{Channel: 0})
+	count := 0
+	sc.OnAdvertisement = func(*AdvPDU, phy.DBm) { count++ }
+	sc.Start()
+	a.Run()
+	sched.RunUntil(sim.Second)
+	sc.Stop()
+	n := count
+	sched.RunUntil(2 * sim.Second)
+	a.Stop()
+	if count != n {
+		t.Fatal("stopped scanner kept hearing")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"wile/internal/dot11"
+)
+
+// TestGoldenBeaconBytes locks the on-air format: any change to the frame
+// codec, element order, message header or TLV encoding shows up as a diff
+// against this hand-verified capture (produced by cmd/wile-sensor and
+// cross-checked field-by-field below).
+func TestGoldenBeaconBytes(t *testing.T) {
+	const golden = "80000000ffffffffffff0257000010010257000010010000" +
+		"0000000000000000640000000000010882848b960c121824030106dd1a5249" +
+		"4c0100000010010000010102086603020bb80404000000004dea87ad"
+
+	msg := &Message{
+		DeviceID: 0x1001,
+		Seq:      0,
+		Readings: []Reading{Temperature(21.50), Battery(3000), Counter(0)},
+	}
+	beacon, err := BuildBeacon(dot11.LocalMAC(0x1001), 6, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := dot11.Marshal(beacon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(raw); got != golden {
+		t.Fatalf("wire format changed:\n got  %s\n want %s", got, golden)
+	}
+
+	// Field-by-field verification of the golden bytes, as documentation:
+	want := []struct {
+		name string
+		hex  string
+	}{
+		{"frame control (beacon)", "8000"},
+		{"duration", "0000"},
+		{"RA broadcast", "ffffffffffff"},
+		{"TA = LocalMAC(0x1001)", "025700001001"},
+		{"BSSID = LocalMAC(0x1001)", "025700001001"},
+		{"seq control", "0000"},
+		{"timestamp", "0000000000000000"},
+		{"beacon interval 100 TU", "6400"},
+		{"capability (neither ESS nor IBSS)", "0000"},
+		{"SSID element, hidden (len 0)", "0000"},
+		{"supported rates", "010882848b960c121824"},
+		{"DS param, channel 6", "030106"},
+		{"vendor element hdr (len 26)", "dd1a"},
+		{"Wi-LE OUI", "52494c"},
+		{"msg: ver=1 flags=0", "0100"},
+		{"msg: device 0x1001", "00001001"},
+		{"msg: seq 0", "0000"},
+		{"msg: frag 0 of 1", "01"},
+		{"TLV temperature 21.50 °C", "01020866"},
+		{"TLV battery 3000 mV", "03020bb8"},
+		{"TLV counter 0", "040400000000"},
+		{"FCS", "4dea87ad"},
+	}
+	off := 0
+	for _, f := range want {
+		n := len(f.hex)
+		if golden[off:off+n] != f.hex {
+			t.Errorf("%s: bytes %s, want %s", f.name, golden[off:off+n], f.hex)
+		}
+		off += n
+	}
+	if off != len(golden) {
+		t.Fatalf("field walk covered %d of %d hex chars", off, len(golden))
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"wile/internal/medium"
+	"wile/internal/phy"
+	"wile/internal/sim"
+)
+
+// multiChannelWorld builds one medium per channel.
+func multiChannelWorld(chans ...phy.Channel) (*sim.Scheduler, []*medium.Medium) {
+	s := sim.New()
+	meds := make([]*medium.Medium, 0, len(chans))
+	for _, ch := range chans {
+		meds = append(meds, medium.New(s, ch))
+	}
+	return s, meds
+}
+
+func TestWiLEOn5GHz(t *testing.T) {
+	// §1: Wi-LE can use "the 5 GHz spectrum (allowing devices to avoid the
+	// increasingly crowded 2.4 GHz spectrum used by BLE)". Nothing in the
+	// protocol is band-specific; this pins that down.
+	s := sim.New()
+	med := medium.New(s, phy.WiFi5Channel(36))
+	sensor := NewSensor(s, med, SensorConfig{DeviceID: 0x5001, Position: pos(0, 0), Channel: 36, SkipBoot: true})
+	scanner := NewScanner(s, med, ScannerConfig{Position: pos(2, 0)})
+	scanner.Start()
+	var got *Message
+	scanner.OnMessage = func(m *Message, meta Meta) { got = m }
+	sensor.TransmitOnce([]Reading{Temperature(17)}, nil)
+	s.Run()
+	if got == nil || got.DeviceID != 0x5001 {
+		t.Fatalf("5 GHz delivery failed: %+v", got)
+	}
+}
+
+func TestChannelHopperFindsDevicesAcrossChannels(t *testing.T) {
+	sched, meds := multiChannelWorld(phy.WiFi24Channel(1), phy.WiFi24Channel(6), phy.WiFi24Channel(11))
+
+	// One fast-reporting sensor per channel.
+	for i, med := range meds {
+		s := NewSensor(sched, med, SensorConfig{
+			DeviceID: uint32(0x600 + i),
+			Position: pos(0, 0),
+			Period:   500 * time.Millisecond,
+			Channel:  []int{1, 6, 11}[i],
+			SkipBoot: true,
+			Seed:     uint64(100 + i),
+		})
+		s.Run()
+	}
+
+	scanners := make([]*Scanner, 0, len(meds))
+	for i, med := range meds {
+		scanners = append(scanners, NewScanner(sched, med, ScannerConfig{
+			Name: "hop", Position: pos(1, 0), Seed: uint64(200 + i),
+		}))
+	}
+	hopper := NewChannelHopper(sched, 300*time.Millisecond, scanners...)
+	hopper.Start()
+
+	sched.RunUntil(60 * sim.Second)
+	hopper.Stop()
+
+	devices := hopper.Devices()
+	if len(devices) != 3 {
+		t.Fatalf("hopper found %d devices, want 3 (one per channel)", len(devices))
+	}
+	for i, rec := range devices {
+		if rec.DeviceID != uint32(0x600+i) {
+			t.Fatalf("devices misordered: %+v", devices)
+		}
+		if rec.Messages == 0 {
+			t.Fatalf("device %08x never captured", rec.DeviceID)
+		}
+	}
+	if hopper.Stats.Hops < 100 {
+		t.Fatalf("only %d hops in 60 s at 300 ms dwell", hopper.Stats.Hops)
+	}
+	// Capture rate ≈ 1/3 (dwelling on each channel a third of the time).
+	expectedPerDevice := 120 // 60 s / 0.5 s
+	total := hopper.Messages()
+	rate := float64(total) / float64(3*expectedPerDevice)
+	if rate < 0.20 || rate > 0.50 {
+		t.Fatalf("capture rate %.2f, want ≈1/3", rate)
+	}
+}
+
+func TestChannelHopperSingleChannelCatchesAll(t *testing.T) {
+	sched, meds := multiChannelWorld(phy.WiFi24Channel(6))
+	sensor := NewSensor(sched, meds[0], SensorConfig{
+		DeviceID: 0x700, Position: pos(0, 0), Period: time.Second, SkipBoot: true,
+	})
+	sensor.Run()
+	sc := NewScanner(sched, meds[0], ScannerConfig{Position: pos(1, 0)})
+	hopper := NewChannelHopper(sched, 200*time.Millisecond, sc)
+	hopper.Start()
+	sched.RunUntil(20*sim.Second + 500*sim.Millisecond)
+	if got := hopper.Messages(); got != 20 {
+		t.Fatalf("single-channel hopper caught %d of 20", got)
+	}
+}
+
+func TestChannelHopperStartStopIdempotent(t *testing.T) {
+	sched, meds := multiChannelWorld(phy.WiFi24Channel(1), phy.WiFi24Channel(6))
+	scanners := []*Scanner{
+		NewScanner(sched, meds[0], ScannerConfig{Position: pos(0, 0)}),
+		NewScanner(sched, meds[1], ScannerConfig{Position: pos(0, 0), Seed: 2}),
+	}
+	h := NewChannelHopper(sched, 100*time.Millisecond, scanners...)
+	h.Start()
+	h.Start()
+	sched.RunUntil(sim.Second)
+	h.Stop()
+	n := h.Stats.Hops
+	sched.RunUntil(2 * sim.Second)
+	if h.Stats.Hops != n {
+		t.Fatal("hopper kept hopping after Stop")
+	}
+	// Exactly one radio was on at any time; after Stop, none.
+	for _, sc := range scanners {
+		if sc.Port.Transceiver().On() {
+			t.Fatal("a scanner radio left on after Stop")
+		}
+	}
+}
+
+func TestChannelHopperNeedsScanners(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty hopper did not panic")
+		}
+	}()
+	NewChannelHopper(sim.New(), time.Second)
+}
+
+// --- Reliability layer ---
+
+func TestReliableDeliveryWithOutage(t *testing.T) {
+	// The base station is down for the first two cycles; the batch queued
+	// at t=0 must survive the outage and deliver on the third attempt.
+	r := newRig()
+	sensor := NewSensor(r.sched, r.med, SensorConfig{
+		DeviceID: 0xab, Position: pos(0, 0), Period: 5 * time.Second,
+		RxWindow: 20 * time.Millisecond, SkipBoot: true,
+	})
+	rel := NewReliableSensor(sensor, 5)
+	responder := NewResponder(r.sched, r.med, "base", pos(2, 0), 6)
+	responder.AutoAck = true
+	responder.Port.SetRadioOn(false) // outage
+
+	var delivered []Reading
+	attempts := 0
+	rel.OnDelivered = func(batch []Reading, n int) { delivered = batch; attempts = n }
+
+	rel.Queue([]Reading{Temperature(99)})
+	rel.Run()
+	// Two cycles of outage.
+	r.sched.RunUntil(11 * sim.Second)
+	if rel.Pending() != 1 {
+		t.Fatalf("pending = %d during outage", rel.Pending())
+	}
+	// Base station returns.
+	responder.Port.SetRadioOn(true)
+	r.sched.RunUntil(30 * sim.Second)
+	rel.Stop()
+
+	if delivered == nil {
+		t.Fatal("batch never delivered")
+	}
+	if delivered[0].Celsius() != 99 {
+		t.Fatalf("delivered %+v", delivered)
+	}
+	if attempts != 3 {
+		t.Fatalf("delivered after %d attempts, want 3", attempts)
+	}
+	if rel.Stats.Retransmitted != 2 {
+		t.Fatalf("retransmissions = %d", rel.Stats.Retransmitted)
+	}
+	if rel.Pending() != 0 {
+		t.Fatalf("pending = %d after delivery", rel.Pending())
+	}
+}
+
+func TestReliableFirstTryNoRetransmit(t *testing.T) {
+	r := newRig()
+	sensor := NewSensor(r.sched, r.med, SensorConfig{
+		DeviceID: 0xac, Position: pos(0, 0), Period: 2 * time.Second,
+		RxWindow: 20 * time.Millisecond, SkipBoot: true,
+	})
+	rel := NewReliableSensor(sensor, 5)
+	responder := NewResponder(r.sched, r.med, "base", pos(2, 0), 6)
+	responder.AutoAck = true
+
+	rel.Queue([]Reading{Counter(1)})
+	rel.Queue([]Reading{Counter(2)})
+	rel.Run()
+	r.sched.RunUntil(10 * sim.Second)
+	rel.Stop()
+
+	if rel.Stats.Delivered != 2 || rel.Stats.Retransmitted != 0 {
+		t.Fatalf("stats: %+v", rel.Stats)
+	}
+	if rel.Pending() != 0 {
+		t.Fatalf("pending = %d", rel.Pending())
+	}
+}
+
+func TestReliableGiveUpAfterMaxAttempts(t *testing.T) {
+	r := newRig()
+	sensor := NewSensor(r.sched, r.med, SensorConfig{
+		DeviceID: 0xad, Position: pos(0, 0), Period: time.Second,
+		RxWindow: 10 * time.Millisecond, SkipBoot: true,
+	})
+	rel := NewReliableSensor(sensor, 3)
+	// No responder at all.
+	var gaveUp []Reading
+	rel.OnGiveUp = func(batch []Reading) { gaveUp = batch }
+	rel.Queue([]Reading{Battery(1234)})
+	rel.Run()
+	r.sched.RunUntil(10 * sim.Second)
+	rel.Stop()
+
+	if gaveUp == nil {
+		t.Fatal("never gave up")
+	}
+	if gaveUp[0].Value != 1234 {
+		t.Fatalf("gave up on %+v", gaveUp)
+	}
+	if rel.Stats.GivenUp != 1 || rel.Pending() != 0 {
+		t.Fatalf("stats %+v pending %d", rel.Stats, rel.Pending())
+	}
+	// Exactly MaxAttempts transmissions carried the batch.
+	if rel.Stats.Retransmitted != 2 {
+		t.Fatalf("retransmitted %d, want 2 (3 attempts total)", rel.Stats.Retransmitted)
+	}
+}
+
+func TestReliableHeartbeatWhenIdle(t *testing.T) {
+	r := newRig()
+	sensor := NewSensor(r.sched, r.med, SensorConfig{
+		DeviceID: 0xae, Position: pos(0, 0), Period: time.Second,
+		RxWindow: 10 * time.Millisecond, SkipBoot: true,
+	})
+	rel := NewReliableSensor(sensor, 3)
+	scanner := NewScanner(r.sched, r.med, ScannerConfig{Position: pos(1, 0)})
+	scanner.Start()
+	heartbeats := 0
+	scanner.OnMessage = func(m *Message, meta Meta) { heartbeats++ }
+	rel.Run()
+	r.sched.RunUntil(5*sim.Second + 500*sim.Millisecond)
+	rel.Stop()
+	if heartbeats != 5 {
+		t.Fatalf("heartbeats = %d", heartbeats)
+	}
+}

@@ -1,0 +1,109 @@
+package crypto80211
+
+import (
+	"crypto/aes"
+	"errors"
+	"fmt"
+)
+
+// AES Key Wrap (RFC 3394), used by WPA2 to deliver the GTK inside message
+// 3 of the 4-way handshake.
+
+var keywrapIV = [8]byte{0xa6, 0xa6, 0xa6, 0xa6, 0xa6, 0xa6, 0xa6, 0xa6}
+
+// KeyWrap wraps plaintext (a multiple of 8 bytes, at least 16) under kek,
+// returning len(plaintext)+8 bytes.
+func KeyWrap(kek, plaintext []byte) ([]byte, error) {
+	if len(plaintext) < 16 || len(plaintext)%8 != 0 {
+		return nil, fmt.Errorf("crypto80211: keywrap plaintext must be >=16 bytes and a multiple of 8, have %d", len(plaintext))
+	}
+	block, err := aes.NewCipher(kek)
+	if err != nil {
+		return nil, err
+	}
+	n := len(plaintext) / 8
+	r := make([]byte, 8+len(plaintext))
+	copy(r[:8], keywrapIV[:])
+	copy(r[8:], plaintext)
+
+	var b [16]byte
+	for j := 0; j <= 5; j++ {
+		for i := 1; i <= n; i++ {
+			copy(b[:8], r[:8])
+			copy(b[8:], r[8*i:8*i+8])
+			block.Encrypt(b[:], b[:])
+			t := uint64(n*j + i)
+			copy(r[:8], b[:8])
+			for k := 0; k < 8; k++ {
+				r[k] ^= byte(t >> (56 - 8*k))
+			}
+			copy(r[8*i:], b[8:])
+		}
+	}
+	return r, nil
+}
+
+// ErrKeyWrap reports an integrity failure during unwrap.
+var ErrKeyWrap = errors.New("crypto80211: key unwrap integrity check failed")
+
+// KeyUnwrap reverses KeyWrap, verifying the integrity check value.
+func KeyUnwrap(kek, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < 24 || len(ciphertext)%8 != 0 {
+		return nil, fmt.Errorf("crypto80211: keywrap ciphertext must be >=24 bytes and a multiple of 8, have %d", len(ciphertext))
+	}
+	block, err := aes.NewCipher(kek)
+	if err != nil {
+		return nil, err
+	}
+	n := len(ciphertext)/8 - 1
+	a := make([]byte, 8)
+	r := make([]byte, len(ciphertext)-8)
+	copy(a, ciphertext[:8])
+	copy(r, ciphertext[8:])
+
+	var b [16]byte
+	for j := 5; j >= 0; j-- {
+		for i := n; i >= 1; i-- {
+			t := uint64(n*j + i)
+			copy(b[:8], a)
+			for k := 0; k < 8; k++ {
+				b[k] ^= byte(t >> (56 - 8*k))
+			}
+			copy(b[8:], r[8*(i-1):8*i])
+			block.Decrypt(b[:], b[:])
+			copy(a, b[:8])
+			copy(r[8*(i-1):], b[8:])
+		}
+	}
+	for k := 0; k < 8; k++ {
+		if a[k] != keywrapIV[k] {
+			return nil, ErrKeyWrap
+		}
+	}
+	return r, nil
+}
+
+// pad8 pads RSN key data to the key-wrap block size with the 0xdd..00
+// padding §12.7.2 specifies.
+func pad8(b []byte) []byte {
+	if len(b) >= 16 && len(b)%8 == 0 {
+		return b
+	}
+	padded := append(append([]byte{}, b...), 0xdd)
+	for len(padded) < 16 || len(padded)%8 != 0 {
+		padded = append(padded, 0)
+	}
+	return padded
+}
+
+// unpad8 strips §12.7.2 key-data padding.
+func unpad8(b []byte) []byte {
+	i := len(b)
+	for i > 0 && b[i-1] == 0 {
+		i--
+	}
+	if i > 0 && b[i-1] == 0xdd {
+		i--
+	}
+	return b[:i]
+}

@@ -1,0 +1,24 @@
+package crypto80211
+
+import "wile/internal/dot11"
+
+// DataFrameMeta derives the CCMP nonce/AAD binding from a data frame's
+// header, applying the §12.5.3.3.3 masking: the retry, power-management
+// and more-data bits are zeroed (they may legitimately change on
+// retransmission), the protected bit is forced on, and the sequence number
+// is masked out of the sequence control (only the fragment number is
+// bound).
+func DataFrameMeta(d *dot11.Data) CCMPFrameMeta {
+	fc := d.Header.FC
+	fc.Retry = false
+	fc.PwrMgmt = false
+	fc.MoreData = false
+	fc.Protected = true
+	return CCMPFrameMeta{
+		FC:     fc.Uint16(),
+		A1:     [6]byte(d.Header.Addr1),
+		A2:     [6]byte(d.Header.Addr2),
+		A3:     [6]byte(d.Header.Addr3),
+		SeqCtl: uint16(d.Header.Fragment) & 0xf,
+	}
+}

@@ -1,0 +1,116 @@
+// Package dot11 implements an IEEE 802.11 MAC frame codec: management,
+// control and data frames, information elements, and the FCS.
+//
+// The codec follows the gopacket serialization idioms the Go networking
+// ecosystem established: concrete frame types decode from bytes into
+// preallocated structs (DecodeFromBytes) and serialize by appending to a
+// caller-supplied buffer, so steady-state encode/decode paths do not
+// allocate. Wi-LE's transmit path leans on this: the paper notes the
+// beacon "content of the packet including all of headers can be
+// pre-computed and then only the IoT device's data needs to be inserted".
+//
+// Byte order: IEEE 802.11 fields are little-endian on the wire (unlike
+// IP-world protocols); information-element contents define their own order.
+package dot11
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MAC is a 48-bit IEEE 802 MAC address. It is a value type (comparable,
+// usable as a map key), following gopacket's Endpoint design.
+type MAC [6]byte
+
+// Broadcast is the all-ones broadcast address, the receiver address of
+// every beacon frame Wi-LE injects.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// ParseMAC parses the usual colon-separated hex form.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	if len(s) != 17 {
+		return m, fmt.Errorf("dot11: bad MAC %q: want 17 chars, have %d", s, len(s))
+	}
+	for i := 0; i < 6; i++ {
+		hi, ok1 := unhex(s[3*i])
+		lo, ok2 := unhex(s[3*i+1])
+		if !ok1 || !ok2 {
+			return m, fmt.Errorf("dot11: bad MAC %q: invalid hex at byte %d", s, i)
+		}
+		if i < 5 && s[3*i+2] != ':' {
+			return m, fmt.Errorf("dot11: bad MAC %q: missing ':' after byte %d", s, i)
+		}
+		m[i] = hi<<4 | lo
+	}
+	return m, nil
+}
+
+// MustParseMAC is ParseMAC for constants in tests and examples.
+func MustParseMAC(s string) MAC {
+	m, err := ParseMAC(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// String implements fmt.Stringer in the canonical lowercase form.
+func (m MAC) String() string {
+	const hexdigit = "0123456789abcdef"
+	var b [17]byte
+	for i, v := range m {
+		b[3*i] = hexdigit[v>>4]
+		b[3*i+1] = hexdigit[v&0xf]
+		if i < 5 {
+			b[3*i+2] = ':'
+		}
+	}
+	return string(b[:])
+}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == Broadcast }
+
+// IsGroup reports whether m is a group (multicast or broadcast) address.
+func (m MAC) IsGroup() bool { return m[0]&0x01 != 0 }
+
+// IsLocal reports whether the locally-administered bit is set. Wi-LE
+// devices use locally-administered addresses so injected beacons can never
+// collide with a real vendor BSSID.
+func (m MAC) IsLocal() bool { return m[0]&0x02 != 0 }
+
+// OUI reports the first three octets (the organizationally unique
+// identifier).
+func (m MAC) OUI() [3]byte { return [3]byte{m[0], m[1], m[2]} }
+
+// LocalMAC derives a deterministic locally-administered unicast address
+// from a 32-bit device identifier. Wi-LE sensors use this as the BSSID and
+// source address of their injected beacons.
+func LocalMAC(deviceID uint32) MAC {
+	var m MAC
+	m[0] = 0x02 // locally administered, unicast
+	m[1] = 0x57 // 'W'
+	binary.BigEndian.PutUint32(m[2:], deviceID)
+	return m
+}
+
+// errTruncated is wrapped by every "frame too short" decode error so
+// callers can errors.Is it regardless of which layer was cut off.
+var errTruncated = errors.New("dot11: truncated frame")
+
+// ErrTruncated reports whether err was caused by a short buffer.
+func ErrTruncated(err error) bool { return errors.Is(err, errTruncated) }

@@ -1,0 +1,89 @@
+package dot11
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMAC(t *testing.T) {
+	m, err := ParseMAC("02:57:de:ad:be:ef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (MAC{0x02, 0x57, 0xde, 0xad, 0xbe, 0xef}) {
+		t.Fatalf("parsed %v", m)
+	}
+	if m.String() != "02:57:de:ad:be:ef" {
+		t.Fatalf("String() = %q", m.String())
+	}
+	// Uppercase accepted, canonicalized to lowercase.
+	m2, err := ParseMAC("02:57:DE:AD:BE:EF")
+	if err != nil || m2 != m {
+		t.Fatalf("uppercase parse: %v, %v", m2, err)
+	}
+}
+
+func TestParseMACErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "02:57:de:ad:be", "02:57:de:ad:be:e", "0257deadbeef",
+		"02-57-de-ad-be-ef", "02:57:de:ad:be:eg", "02:57:de:ad:be:ef:00",
+	} {
+		if _, err := ParseMAC(s); err == nil {
+			t.Errorf("ParseMAC(%q) succeeded", s)
+		}
+	}
+}
+
+func TestMustParseMACPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseMAC on bad input did not panic")
+		}
+	}()
+	MustParseMAC("nope")
+}
+
+func TestPropertyMACStringRoundTrip(t *testing.T) {
+	f := func(raw [6]byte) bool {
+		m := MAC(raw)
+		back, err := ParseMAC(m.String())
+		return err == nil && back == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressClassification(t *testing.T) {
+	if !Broadcast.IsBroadcast() || !Broadcast.IsGroup() {
+		t.Error("broadcast misclassified")
+	}
+	uni := MustParseMAC("00:11:22:33:44:55")
+	if uni.IsBroadcast() || uni.IsGroup() || uni.IsLocal() {
+		t.Error("unicast global misclassified")
+	}
+	multi := MustParseMAC("01:00:5e:00:00:01")
+	if !multi.IsGroup() || multi.IsBroadcast() {
+		t.Error("multicast misclassified")
+	}
+}
+
+func TestLocalMAC(t *testing.T) {
+	m := LocalMAC(0xdeadbeef)
+	if !m.IsLocal() {
+		t.Error("LocalMAC not locally administered")
+	}
+	if m.IsGroup() {
+		t.Error("LocalMAC must be unicast")
+	}
+	if m != (MAC{0x02, 0x57, 0xde, 0xad, 0xbe, 0xef}) {
+		t.Errorf("LocalMAC = %v", m)
+	}
+	// Distinct IDs give distinct addresses.
+	if LocalMAC(1) == LocalMAC(2) {
+		t.Error("LocalMAC collision")
+	}
+	if got := m.OUI(); got != [3]byte{0x02, 0x57, 0xde} {
+		t.Errorf("OUI = %v", got)
+	}
+}

@@ -1,0 +1,162 @@
+package dot11
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Control frames carry abbreviated headers: ACK and CTS are 10 bytes
+// (FC, duration, RA); RTS and PS-Poll are 16 bytes (… plus TA/BSSID).
+
+// ACK acknowledges a unicast frame SIFS after its reception. The join
+// sequence in §3.1 is dominated by these: every management frame in the
+// exchange costs an extra ACK on the air.
+type ACK struct {
+	FC         FrameControl
+	DurationID uint16
+	Receiver   MAC
+}
+
+// Kind implements Frame.
+func (*ACK) Kind() Kind { return Kind{TypeControl, SubtypeACK} }
+
+// RA implements Frame.
+func (f *ACK) RA() MAC { return f.Receiver }
+
+// TA implements Frame. ACK frames carry no transmitter address.
+func (f *ACK) TA() MAC { return MAC{} }
+
+// AppendTo implements Frame.
+func (f *ACK) AppendTo(dst []byte) ([]byte, error) {
+	f.FC.Type, f.FC.Subtype = TypeControl, SubtypeACK
+	dst = binary.LittleEndian.AppendUint16(dst, f.FC.Uint16())
+	dst = binary.LittleEndian.AppendUint16(dst, f.DurationID)
+	return append(dst, f.Receiver[:]...), nil
+}
+
+// DecodeFromBytes implements Frame.
+func (f *ACK) DecodeFromBytes(b []byte) error {
+	if len(b) < 10 {
+		return fmt.Errorf("%w: ACK needs 10 bytes, have %d", errTruncated, len(b))
+	}
+	f.FC = ParseFrameControl(binary.LittleEndian.Uint16(b))
+	f.DurationID = binary.LittleEndian.Uint16(b[2:])
+	copy(f.Receiver[:], b[4:10])
+	return nil
+}
+
+// NewACK acknowledges the given frame.
+func NewACK(to MAC) *ACK { return &ACK{Receiver: to} }
+
+// CTS clears a transmitter after an RTS (or protects a TXOP as CTS-to-self).
+type CTS struct {
+	FC         FrameControl
+	DurationID uint16
+	Receiver   MAC
+}
+
+// Kind implements Frame.
+func (*CTS) Kind() Kind { return Kind{TypeControl, SubtypeCTS} }
+
+// RA implements Frame.
+func (f *CTS) RA() MAC { return f.Receiver }
+
+// TA implements Frame.
+func (f *CTS) TA() MAC { return MAC{} }
+
+// AppendTo implements Frame.
+func (f *CTS) AppendTo(dst []byte) ([]byte, error) {
+	f.FC.Type, f.FC.Subtype = TypeControl, SubtypeCTS
+	dst = binary.LittleEndian.AppendUint16(dst, f.FC.Uint16())
+	dst = binary.LittleEndian.AppendUint16(dst, f.DurationID)
+	return append(dst, f.Receiver[:]...), nil
+}
+
+// DecodeFromBytes implements Frame.
+func (f *CTS) DecodeFromBytes(b []byte) error {
+	if len(b) < 10 {
+		return fmt.Errorf("%w: CTS needs 10 bytes, have %d", errTruncated, len(b))
+	}
+	f.FC = ParseFrameControl(binary.LittleEndian.Uint16(b))
+	f.DurationID = binary.LittleEndian.Uint16(b[2:])
+	copy(f.Receiver[:], b[4:10])
+	return nil
+}
+
+// RTS reserves the medium for a long exchange.
+type RTS struct {
+	FC          FrameControl
+	DurationID  uint16
+	Receiver    MAC
+	Transmitter MAC
+}
+
+// Kind implements Frame.
+func (*RTS) Kind() Kind { return Kind{TypeControl, SubtypeRTS} }
+
+// RA implements Frame.
+func (f *RTS) RA() MAC { return f.Receiver }
+
+// TA implements Frame.
+func (f *RTS) TA() MAC { return f.Transmitter }
+
+// AppendTo implements Frame.
+func (f *RTS) AppendTo(dst []byte) ([]byte, error) {
+	f.FC.Type, f.FC.Subtype = TypeControl, SubtypeRTS
+	dst = binary.LittleEndian.AppendUint16(dst, f.FC.Uint16())
+	dst = binary.LittleEndian.AppendUint16(dst, f.DurationID)
+	dst = append(dst, f.Receiver[:]...)
+	return append(dst, f.Transmitter[:]...), nil
+}
+
+// DecodeFromBytes implements Frame.
+func (f *RTS) DecodeFromBytes(b []byte) error {
+	if len(b) < 16 {
+		return fmt.Errorf("%w: RTS needs 16 bytes, have %d", errTruncated, len(b))
+	}
+	f.FC = ParseFrameControl(binary.LittleEndian.Uint16(b))
+	f.DurationID = binary.LittleEndian.Uint16(b[2:])
+	copy(f.Receiver[:], b[4:10])
+	copy(f.Transmitter[:], b[10:16])
+	return nil
+}
+
+// PSPoll is the frame a dozing station sends to retrieve one buffered
+// frame after seeing its AID in the TIM. Its duration field carries the
+// AID (with the two top bits set) rather than a NAV value.
+type PSPoll struct {
+	FC          FrameControl
+	AID         uint16
+	BSSID       MAC
+	Transmitter MAC
+}
+
+// Kind implements Frame.
+func (*PSPoll) Kind() Kind { return Kind{TypeControl, SubtypePSPoll} }
+
+// RA implements Frame.
+func (f *PSPoll) RA() MAC { return f.BSSID }
+
+// TA implements Frame.
+func (f *PSPoll) TA() MAC { return f.Transmitter }
+
+// AppendTo implements Frame.
+func (f *PSPoll) AppendTo(dst []byte) ([]byte, error) {
+	f.FC.Type, f.FC.Subtype = TypeControl, SubtypePSPoll
+	dst = binary.LittleEndian.AppendUint16(dst, f.FC.Uint16())
+	dst = binary.LittleEndian.AppendUint16(dst, f.AID|0xc000)
+	dst = append(dst, f.BSSID[:]...)
+	return append(dst, f.Transmitter[:]...), nil
+}
+
+// DecodeFromBytes implements Frame.
+func (f *PSPoll) DecodeFromBytes(b []byte) error {
+	if len(b) < 16 {
+		return fmt.Errorf("%w: PS-Poll needs 16 bytes, have %d", errTruncated, len(b))
+	}
+	f.FC = ParseFrameControl(binary.LittleEndian.Uint16(b))
+	f.AID = binary.LittleEndian.Uint16(b[2:]) &^ 0xc000
+	copy(f.BSSID[:], b[4:10])
+	copy(f.Transmitter[:], b[10:16])
+	return nil
+}

@@ -1,0 +1,108 @@
+package dot11
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// High-throughput (802.11n) information elements. The paper's devices run
+// b/g/n and the §5.4 measurement injects at MCS7 short-GI, so a realistic
+// AP beacon advertises HT capabilities and HT operation, and a capture of
+// the testbed would show these elements.
+
+// HTCapabilities is the ID-45 element (§9.4.2.56), modeling the fields the
+// simulation cares about: single-spatial-stream 20 MHz operation with
+// optional short guard interval.
+type HTCapabilities struct {
+	// ShortGI20 advertises 400 ns guard-interval support at 20 MHz —
+	// what makes the 72.2 Mb/s MCS7-SGI rate legal.
+	ShortGI20 bool
+	// GreenfieldSupport advertises HT-greenfield preamble reception.
+	GreenfieldSupport bool
+	// RxMCSBitmask holds bits for MCS 0–76; bit i set means MCS i
+	// receivable. Single-stream devices set bits 0–7.
+	RxMCSBitmask [10]byte
+}
+
+// SingleStreamHTCapabilities advertises MCS 0–7 with short GI — the ESP32's
+// HT feature set.
+func SingleStreamHTCapabilities() HTCapabilities {
+	var c HTCapabilities
+	c.ShortGI20 = true
+	c.RxMCSBitmask[0] = 0xff // MCS 0-7
+	return c
+}
+
+// htCapInfo packs the capability-info bitfield.
+func (c HTCapabilities) htCapInfo() uint16 {
+	var v uint16
+	if c.ShortGI20 {
+		v |= 1 << 5
+	}
+	if c.GreenfieldSupport {
+		v |= 1 << 4
+	}
+	return v
+}
+
+// HTCapabilitiesElement encodes the 26-byte element body.
+func HTCapabilitiesElement(c HTCapabilities) Element {
+	info := make([]byte, 26)
+	binary.LittleEndian.PutUint16(info[0:], c.htCapInfo())
+	// info[2] is the A-MPDU parameters octet (zero: no aggregation —
+	// nothing in the paper uses A-MPDU).
+	copy(info[3:13], c.RxMCSBitmask[:])
+	// Remaining supported-MCS fields, extended caps, TxBF and ASEL stay
+	// zero.
+	return Element{ID: ElementHTCapabilities, Info: info}
+}
+
+// ParseHTCapabilities decodes the element body.
+func ParseHTCapabilities(info []byte) (HTCapabilities, error) {
+	var c HTCapabilities
+	if len(info) < 26 {
+		return c, fmt.Errorf("%w: HT capabilities need 26 bytes, have %d", errTruncated, len(info))
+	}
+	v := binary.LittleEndian.Uint16(info)
+	c.ShortGI20 = v&(1<<5) != 0
+	c.GreenfieldSupport = v&(1<<4) != 0
+	copy(c.RxMCSBitmask[:], info[3:13])
+	return c, nil
+}
+
+// SupportsMCS reports whether the receive MCS bitmap includes mcs.
+func (c HTCapabilities) SupportsMCS(mcs int) bool {
+	if mcs < 0 || mcs >= 77 {
+		return false
+	}
+	return c.RxMCSBitmask[mcs/8]&(1<<(mcs%8)) != 0
+}
+
+// HTOperation is the ID-61 element (§9.4.2.57): how the BSS actually runs.
+type HTOperation struct {
+	// PrimaryChannel is the 20 MHz control channel.
+	PrimaryChannel uint8
+	// BasicMCSSet lists the MCS values every HT member must support.
+	BasicMCSSet [16]byte
+}
+
+// HTOperationElement encodes the 22-byte element body.
+func HTOperationElement(o HTOperation) Element {
+	info := make([]byte, 22)
+	info[0] = o.PrimaryChannel
+	// info[1:6]: HT operation information — zero means 20 MHz, no
+	// protection, the configuration the paper's channel uses.
+	copy(info[6:22], o.BasicMCSSet[:])
+	return Element{ID: ElementHTOperation, Info: info}
+}
+
+// ParseHTOperation decodes the element body.
+func ParseHTOperation(info []byte) (HTOperation, error) {
+	var o HTOperation
+	if len(info) < 22 {
+		return o, fmt.Errorf("%w: HT operation needs 22 bytes, have %d", errTruncated, len(info))
+	}
+	o.PrimaryChannel = info[0]
+	copy(o.BasicMCSSet[:], info[6:22])
+	return o, nil
+}

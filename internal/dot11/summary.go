@@ -1,0 +1,94 @@
+package dot11
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summarize renders a one-line, tcpdump-style description of a frame —
+// the display layer for cmd/wile-dump and debugging.
+func Summarize(f Frame) string {
+	switch t := f.(type) {
+	case *Beacon:
+		ssid, hidden, ok := t.Elements.SSID()
+		name := "<no ssid>"
+		switch {
+		case hidden:
+			name = "<hidden>"
+		case ok:
+			name = fmt.Sprintf("%q", ssid)
+		}
+		extra := ""
+		if _, found := t.Elements.Find(ElementVendor); found {
+			extra = fmt.Sprintf(", %d vendor element(s)", countVendor(t.Elements))
+		}
+		return fmt.Sprintf("beacon %v ssid %s interval %d TU%s", t.BSSID(), name, t.Interval, extra)
+	case *ProbeReq:
+		ssid, hidden, ok := t.Elements.SSID()
+		target := "wildcard"
+		if ok && !hidden && ssid != "" {
+			target = fmt.Sprintf("%q", ssid)
+		}
+		return fmt.Sprintf("probe-req %v → %s", t.TA(), target)
+	case *ProbeResp:
+		ssid, _, _ := t.Elements.SSID()
+		return fmt.Sprintf("probe-resp %v → %v ssid %q", t.TA(), t.RA(), ssid)
+	case *Auth:
+		return fmt.Sprintf("auth %v → %v alg %d seq %d status %d", t.TA(), t.RA(), t.Algorithm, t.Seq, t.Status)
+	case *AssocReq:
+		return fmt.Sprintf("assoc-req %v → %v listen-interval %d", t.TA(), t.RA(), t.ListenInterval)
+	case *AssocResp:
+		return fmt.Sprintf("assoc-resp %v → %v status %d aid %d", t.TA(), t.RA(), t.Status, t.AID)
+	case *Deauth:
+		return fmt.Sprintf("deauth %v → %v reason %d", t.TA(), t.RA(), t.Reason)
+	case *Disassoc:
+		return fmt.Sprintf("disassoc %v → %v reason %d", t.TA(), t.RA(), t.Reason)
+	case *Action:
+		return fmt.Sprintf("action %v → %v category %d (%d B)", t.TA(), t.RA(), t.Category, len(t.Body))
+	case *ACK:
+		return fmt.Sprintf("ack → %v", t.RA())
+	case *CTS:
+		return fmt.Sprintf("cts → %v dur %dµs", t.RA(), t.DurationID)
+	case *RTS:
+		return fmt.Sprintf("rts %v → %v dur %dµs", t.TA(), t.RA(), t.DurationID)
+	case *PSPoll:
+		return fmt.Sprintf("ps-poll %v → %v aid %d", t.TA(), t.RA(), t.AID)
+	case *Data:
+		var flags []string
+		if t.Header.FC.ToDS {
+			flags = append(flags, "to-ds")
+		}
+		if t.Header.FC.FromDS {
+			flags = append(flags, "from-ds")
+		}
+		if t.Header.FC.Protected {
+			flags = append(flags, "protected")
+		}
+		if t.Header.FC.PwrMgmt {
+			flags = append(flags, "pwr-mgmt")
+		}
+		if t.Header.FC.MoreData {
+			flags = append(flags, "more-data")
+		}
+		if t.Header.FC.Retry {
+			flags = append(flags, "retry")
+		}
+		kind := t.Kind().String()
+		fl := ""
+		if len(flags) > 0 {
+			fl = " [" + strings.Join(flags, ",") + "]"
+		}
+		return fmt.Sprintf("%s %v → %v (%d B)%s", kind, t.SA(), t.DA(), len(t.Payload), fl)
+	}
+	return fmt.Sprintf("%v %v → %v", f.Kind(), f.TA(), f.RA())
+}
+
+func countVendor(els Elements) int {
+	n := 0
+	for _, e := range els {
+		if e.ID == ElementVendor {
+			n++
+		}
+	}
+	return n
+}

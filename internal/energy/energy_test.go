@@ -1,0 +1,170 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// paperScenarios mirrors Table 1 of the paper exactly; the experiment
+// harness derives its own scenarios from simulation, but the analytic
+// properties tested here must hold for the published numbers too.
+func paperScenarios() []Scenario {
+	return []Scenario{
+		{Name: "Wi-LE", EnergyPerPacketJ: 84e-6, TxDuration: 150 * time.Microsecond, IdleCurrentA: 2.5e-6, VoltageV: 3.3},
+		{Name: "BLE", EnergyPerPacketJ: 71e-6, TxDuration: 3 * time.Millisecond, IdleCurrentA: 1.1e-6, VoltageV: 3.0},
+		{Name: "WiFi-DC", EnergyPerPacketJ: 238.2e-3, TxDuration: 1600 * time.Millisecond, IdleCurrentA: 2.5e-6, VoltageV: 3.3},
+		{Name: "WiFi-PS", EnergyPerPacketJ: 19.8e-3, TxDuration: 100 * time.Millisecond, IdleCurrentA: 4500e-6, VoltageV: 3.3},
+	}
+}
+
+func TestEquationOneKnownValue(t *testing.T) {
+	// Hand-computed: Etx=84µJ, Pidle=8.25µW, INT=60s, Ttx=150µs:
+	// Pavg = (84e-6 + 8.25e-6*(60-0.00015)) / 60 ≈ 9.65 µW.
+	s := paperScenarios()[0]
+	got := s.AveragePowerW(time.Minute)
+	if math.Abs(got-9.65e-6) > 0.05e-6 {
+		t.Fatalf("Wi-LE Pavg(1min) = %v W, want ≈9.65 µW", got)
+	}
+}
+
+func TestAveragePowerDecreasesWithInterval(t *testing.T) {
+	for _, s := range paperScenarios() {
+		prev := math.Inf(1)
+		for _, interval := range []time.Duration{
+			5 * time.Second, 30 * time.Second, time.Minute, 5 * time.Minute,
+		} {
+			p := s.AveragePowerW(interval)
+			if p >= prev {
+				t.Errorf("%s: Pavg did not decrease at %v (%v → %v)", s.Name, interval, prev, p)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestAveragePowerApproachesIdleFloor(t *testing.T) {
+	for _, s := range paperScenarios() {
+		p := s.AveragePowerW(24 * time.Hour)
+		floor := s.IdlePowerW()
+		if p < floor {
+			t.Errorf("%s: Pavg %v below idle floor %v", s.Name, p, floor)
+		}
+		if p > floor*1.5 && s.Name != "WiFi-DC" {
+			t.Errorf("%s: Pavg %v not near idle floor %v at 24h interval", s.Name, p, floor)
+		}
+	}
+}
+
+// TestFigure4Shape verifies the orderings Figure 4 shows across its 0–5
+// minute x-axis.
+func TestFigure4Shape(t *testing.T) {
+	s := paperScenarios()
+	wile, ble, dc, ps := s[0], s[1], s[2], s[3]
+
+	for _, interval := range []time.Duration{
+		10 * time.Second, 30 * time.Second, time.Minute, 2 * time.Minute, 5 * time.Minute,
+	} {
+		pWile, pBLE := wile.AveragePowerW(interval), ble.AveragePowerW(interval)
+		pDC, pPS := dc.AveragePowerW(interval), ps.AveragePowerW(interval)
+
+		// Wi-LE tracks BLE within a small factor.
+		if ratio := pWile / pBLE; ratio < 0.3 || ratio > 4 {
+			t.Errorf("INT=%v: Wi-LE/BLE power ratio %.2f not close", interval, ratio)
+		}
+		// Wi-LE is orders of magnitude below both WiFi modes ("generally
+		// about 3 orders of magnitude lower"; at the 5-minute end of the
+		// sweep WiFi-DC's advantage from deep sleep narrows it to ~2).
+		if pDC/pWile < 80 {
+			t.Errorf("INT=%v: WiFi-DC only %.0f× Wi-LE", interval, pDC/pWile)
+		}
+		if pPS/pWile < 100 {
+			t.Errorf("INT=%v: WiFi-PS only %.0f× Wi-LE", interval, pPS/pWile)
+		}
+	}
+}
+
+// TestFigure4Crossover: WiFi-PS wins at short intervals, WiFi-DC at long
+// ones; the paper places the crossover below ≈1 minute.
+func TestFigure4Crossover(t *testing.T) {
+	s := paperScenarios()
+	dc, ps := s[2], s[3]
+	if dc.AveragePowerW(5*time.Second) <= ps.AveragePowerW(5*time.Second) {
+		t.Error("at 5s intervals WiFi-DC should lose to WiFi-PS")
+	}
+	if dc.AveragePowerW(3*time.Minute) >= ps.AveragePowerW(3*time.Minute) {
+		t.Error("at 3min intervals WiFi-DC should beat WiFi-PS")
+	}
+	// Locate the crossover by bisection; it must fall under a minute.
+	lo, hi := 5*time.Second, 3*time.Minute
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if dc.AveragePowerW(mid) > ps.AveragePowerW(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if hi > time.Minute {
+		t.Errorf("WiFi-PS/DC crossover at %v, paper places it below ≈1 minute", hi)
+	}
+}
+
+func TestBatteryLifeBLEOverAYear(t *testing.T) {
+	// "This is why BLE modules can run on a small button battery for over
+	// a year" — at a 1-minute reporting interval.
+	ble := paperScenarios()[1]
+	life := ble.BatteryLife(CR2032CapacityMAh, time.Minute)
+	if life < 365*24*time.Hour {
+		t.Fatalf("BLE CR2032 life = %v, want > 1 year", life)
+	}
+	wile := paperScenarios()[0]
+	if wile.BatteryLife(CR2032CapacityMAh, time.Minute) < 365*24*time.Hour {
+		t.Fatal("Wi-LE should also exceed a year on a coin cell")
+	}
+	// WiFi-DC drains the same cell within days at 1-minute reporting.
+	dc := paperScenarios()[2]
+	if dc.BatteryLife(CR2032CapacityMAh, time.Minute) > 30*24*time.Hour {
+		t.Fatal("WiFi-DC implausibly frugal")
+	}
+}
+
+func TestAveragePowerPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	paperScenarios()[0].AveragePowerW(0)
+}
+
+func TestTxLongerThanIntervalClamped(t *testing.T) {
+	// When the episode exceeds the interval the idle term clamps to zero
+	// instead of going negative.
+	s := Scenario{EnergyPerPacketJ: 1, TxDuration: 10 * time.Second, IdleCurrentA: 1, VoltageV: 3.3}
+	got := s.AveragePowerW(time.Second)
+	if got != 1.0 {
+		t.Fatalf("clamped Pavg = %v, want 1 (energy/interval only)", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{FormatJoules(84e-6), "84.0 µJ"},
+		{FormatJoules(19.8e-3), "19.8 mJ"},
+		{FormatJoules(1.5), "1.50 J"},
+		{FormatAmps(2.5e-6), "2.5 µA"},
+		{FormatAmps(4.5e-3), "4.5 mA"},
+		{FormatAmps(1.2), "1.20 A"},
+		{FormatWatts(9.65e-6), "9.65 µW"},
+		{FormatWatts(14.85e-3), "14.85 mW"},
+		{FormatWatts(2), "2.00 W"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("formatted %q, want %q", c.got, c.want)
+		}
+	}
+}

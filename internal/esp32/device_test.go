@@ -1,0 +1,189 @@
+package esp32
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wile/internal/sim"
+)
+
+func TestStateCurrentsMatchPaper(t *testing.T) {
+	// Table 1 idle currents and §5.1 figures.
+	cases := map[State]float64{
+		StateDeepSleep:   2.5e-6,
+		StateLightSleep:  0.8e-3,
+		StateWiFiPSIdle:  4.5e-3,
+		StateCPUActive:   30e-3,
+		StateNetworkWait: 20e-3,
+		StateRadioListen: 100e-3,
+	}
+	for s, want := range cases {
+		if got := StateCurrentA(s); got != want {
+			t.Errorf("%v current = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestDeviceStartsInDeepSleep(t *testing.T) {
+	s := sim.New()
+	d := New(s)
+	if d.GetState() != StateDeepSleep {
+		t.Fatalf("initial state %v", d.GetState())
+	}
+	if d.Current() != 2.5e-6 {
+		t.Fatalf("initial current %v", d.Current())
+	}
+}
+
+func TestChargeIntegralExact(t *testing.T) {
+	s := sim.New()
+	d := New(s)
+	// 1 s deep sleep + 1 s CPU active + 1 s deep sleep.
+	s.After(time.Second, func() { d.SetState(StateCPUActive) })
+	s.After(2*time.Second, func() { d.SetState(StateDeepSleep) })
+	s.RunUntil(3 * sim.Second)
+	want := 2.5e-6*2 + 30e-3*1
+	if got := d.ChargeC(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("charge = %v C, want %v", got, want)
+	}
+	if got := d.EnergyJ(); math.Abs(got-want*VoltageV) > 1e-12 {
+		t.Fatalf("energy = %v J", got)
+	}
+}
+
+func TestTxBurstOverridesState(t *testing.T) {
+	s := sim.New()
+	d := New(s)
+	d.SetState(StateRadioListen)
+	d.RadioTx(60 * time.Microsecond)
+	if d.Current() != TxBurstCurrentA {
+		t.Fatalf("current during burst = %v", d.Current())
+	}
+	s.Run()
+	if d.Current() != StateCurrentA(StateRadioListen) {
+		t.Fatalf("current after burst = %v", d.Current())
+	}
+	// Energy of the burst window is (ramp+airtime) at TX current.
+	burst := (TxRampUp + 60*time.Microsecond).Seconds()
+	want := TxBurstCurrentA * burst
+	got := d.ChargeC() - StateCurrentA(StateRadioListen)*0 // burst started at t=0
+	if math.Abs(got-want) > want*0.01 {
+		t.Fatalf("burst charge = %v, want ≈%v", got, want)
+	}
+}
+
+func TestOverlappingTxBurstsExtend(t *testing.T) {
+	s := sim.New()
+	d := New(s)
+	d.SetState(StateRadioListen)
+	d.RadioTx(100 * time.Microsecond)
+	s.After(50*time.Microsecond, func() { d.RadioTx(100 * time.Microsecond) })
+	s.Run()
+	if d.Current() != StateCurrentA(StateRadioListen) {
+		t.Fatalf("current after overlapping bursts = %v", d.Current())
+	}
+	// Union of the two windows: 50µs offset + ramp+100µs = ramp+150µs total.
+	want := TxBurstCurrentA * (TxRampUp + 150*time.Microsecond).Seconds()
+	if got := d.ChargeC(); math.Abs(got-want) > want*0.01 {
+		t.Fatalf("charge = %v, want ≈%v", got, want)
+	}
+}
+
+func TestStateChangeDuringBurstDefersToBurst(t *testing.T) {
+	s := sim.New()
+	d := New(s)
+	d.SetState(StateRadioListen)
+	d.RadioTx(200 * time.Microsecond)
+	s.After(50*time.Microsecond, func() { d.SetState(StateDeepSleep) })
+	s.RunUntil(sim.Time(50) * sim.Microsecond)
+	if d.Current() != TxBurstCurrentA {
+		t.Fatal("state change mid-burst dropped the TX current")
+	}
+	s.Run()
+	if d.Current() != StateCurrentA(StateDeepSleep) {
+		t.Fatalf("post-burst current %v, want deep sleep", d.Current())
+	}
+}
+
+func TestStepsRecordWaveform(t *testing.T) {
+	s := sim.New()
+	d := New(s)
+	s.After(time.Second, func() { d.SetState(StateCPUActive) })
+	s.After(2*time.Second, func() { d.SetState(StateDeepSleep) })
+	s.RunUntil(3 * sim.Second)
+	steps := d.Steps()
+	if len(steps) != 3 {
+		t.Fatalf("%d steps, want 3", len(steps))
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].At <= steps[i-1].At {
+			t.Fatal("steps not strictly ordered")
+		}
+		if steps[i].CurrentA == steps[i-1].CurrentA {
+			t.Fatal("redundant step recorded")
+		}
+	}
+}
+
+func TestPlaySegments(t *testing.T) {
+	s := sim.New()
+	d := New(s)
+	done := false
+	d.PlaySegments(BootWiFi(), func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("done callback never ran")
+	}
+	if s.Now() != sim.FromDuration(BootDuration(BootWiFi())) {
+		t.Fatalf("boot took %v, want %v", s.Now(), BootDuration(BootWiFi()))
+	}
+	// After the profile the device returns to its state current.
+	if d.Current() != StateCurrentA(StateDeepSleep) {
+		t.Fatalf("post-profile current %v", d.Current())
+	}
+	if len(d.Marks()) == 0 || d.Marks()[0].Label != "MC/WiFi init" {
+		t.Fatalf("marks = %+v", d.Marks())
+	}
+}
+
+func TestBootProfilesMatchFigure3Durations(t *testing.T) {
+	// Figure 3a: MCU/WiFi init runs 0.2 s → 0.85 s ⇒ 650 ms.
+	if got := BootDuration(BootWiFi()); got != 650*time.Millisecond {
+		t.Errorf("WiFi boot = %v, want 650ms", got)
+	}
+	// Figure 3b: Wi-LE init is visibly shorter (§5.2 "this step is
+	// shorter when compared with the WiFi case").
+	if BootDuration(BootWiLE()) >= BootDuration(BootWiFi()) {
+		t.Error("Wi-LE boot not shorter than WiFi boot")
+	}
+}
+
+func TestMarkPhase(t *testing.T) {
+	s := sim.New()
+	d := New(s)
+	s.After(time.Second, func() { d.MarkPhase("Tx") })
+	s.Run()
+	marks := d.Marks()
+	if len(marks) != 1 || marks[0].Label != "Tx" || marks[0].At != sim.Second {
+		t.Fatalf("marks = %+v", marks)
+	}
+}
+
+func TestStateStringsTotal(t *testing.T) {
+	for _, s := range []State{StateDeepSleep, StateLightSleep, StateWiFiPSIdle,
+		StateCPUActive, StateNetworkWait, StateRadioListen} {
+		if s.String() == "" {
+			t.Errorf("state %d has empty name", s)
+		}
+	}
+}
+
+func TestUnknownStatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown state did not panic")
+		}
+	}()
+	StateCurrentA(State(99))
+}

@@ -1,0 +1,200 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"wile/internal/core"
+	"wile/internal/esp32"
+	"wile/internal/meter"
+	"wile/internal/sim"
+)
+
+// Trace is one Figure-3 current waveform: the 50 kSa/s multimeter record
+// plus the phase annotations the paper overlays.
+type Trace struct {
+	// Samples is the raw multimeter record.
+	Samples []meter.Sample
+	// Marks labels the phase boundaries.
+	Marks []esp32.Mark
+	// EnergyJ integrates the trace (meter view).
+	EnergyJ float64
+	// DeviceEnergyJ integrates the exact device waveform (ground truth).
+	DeviceEnergyJ float64
+	// Window is the observation length.
+	Window time.Duration
+}
+
+// preSleep is the deep-sleep lead-in both Figure 3 traces start with.
+const preSleep = 200 * time.Millisecond
+
+// figureWindow is the 2-second x-axis of Figure 3.
+const figureWindow = 2 * time.Second
+
+// RunFig3a records the WiFi-DC transmission waveform of Figure 3a:
+// deep sleep → MC/WiFi init → probe/auth/assoc (+ 4-way) → DHCP/ARP →
+// data TX → deep sleep, sampled at 50 kSa/s.
+func RunFig3a() (*Trace, error) {
+	w := newWorld()
+	w.newAP()
+	station := w.newStation()
+	dev := station.Dev
+	m := meter.New(w.sched, dev, meter.DefaultSampleRate)
+	m.Start()
+
+	var joinErr error
+	var txOK *bool
+	w.sched.After(preSleep, func() {
+		dev.SetState(esp32.StateCPUActive)
+		dev.PlaySegments(esp32.BootWiFi(), func() {
+			station.Join(func(err error) {
+				if err != nil {
+					joinErr = err
+					return
+				}
+				station.SendReading([]byte("temp=17.0"), 5683, func(ok bool) {
+					txOK = &ok
+					station.Sleep()
+				})
+			})
+		})
+	})
+	w.sched.RunUntil(sim.FromDuration(figureWindow))
+	m.Stop()
+	if joinErr != nil {
+		return nil, fmt.Errorf("experiment: fig3a join: %w", joinErr)
+	}
+	if txOK == nil || !*txOK {
+		return nil, fmt.Errorf("experiment: fig3a transmission incomplete within the window")
+	}
+	return &Trace{
+		Samples:       m.Samples,
+		Marks:         dev.Marks(),
+		EnergyJ:       m.EnergyJ(0, sim.FromDuration(figureWindow), esp32.VoltageV),
+		DeviceEnergyJ: dev.EnergyJ(),
+		Window:        figureWindow,
+	}, nil
+}
+
+// RunFig3b records the Wi-LE waveform of Figure 3b: deep sleep → shorter
+// MC/WiFi init → one injected beacon → deep sleep.
+func RunFig3b() (*Trace, error) {
+	w := newWorld()
+	sensor := core.NewSensor(w.sched, w.med, core.SensorConfig{DeviceID: 0x1001, Position: devicePos})
+	scanner := core.NewScanner(w.sched, w.med, core.ScannerConfig{Position: apPos})
+	scanner.Start()
+	received := false
+	scanner.OnMessage = func(*core.Message, core.Meta) { received = true }
+
+	m := meter.New(w.sched, sensor.Dev, meter.DefaultSampleRate)
+	m.Start()
+	var txOK *bool
+	w.sched.After(preSleep, func() {
+		sensor.Dev.MarkPhase("Wake")
+		sensor.TransmitOnce([]core.Reading{core.Temperature(17.0)}, func(ok bool) { txOK = &ok })
+	})
+	w.sched.RunUntil(sim.FromDuration(figureWindow))
+	m.Stop()
+	if txOK == nil || !*txOK {
+		return nil, fmt.Errorf("experiment: fig3b transmission incomplete")
+	}
+	if !received {
+		return nil, fmt.Errorf("experiment: fig3b beacon not received")
+	}
+	return &Trace{
+		Samples:       m.Samples,
+		Marks:         sensor.Dev.Marks(),
+		EnergyJ:       m.EnergyJ(0, sim.FromDuration(figureWindow), esp32.VoltageV),
+		DeviceEnergyJ: sensor.Dev.EnergyJ(),
+		Window:        figureWindow,
+	}, nil
+}
+
+// WriteCSV exports the trace in the Figure-3 plotting format.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	m := &meter.Meter{Samples: t.Samples}
+	anns := make([]meter.Annotation, 0, len(t.Marks))
+	for _, mk := range t.Marks {
+		anns = append(anns, meter.Annotation{At: mk.At, Label: mk.Label})
+	}
+	return m.WriteCSV(w, anns)
+}
+
+// PhaseBounds reports the start of the named phase and the start of the
+// next phase (or the window end).
+func (t *Trace) PhaseBounds(label string) (start, end sim.Time, ok bool) {
+	for i, mk := range t.Marks {
+		if mk.Label != label {
+			continue
+		}
+		end := sim.FromDuration(t.Window)
+		if i+1 < len(t.Marks) {
+			end = t.Marks[i+1].At
+		}
+		return mk.At, end, true
+	}
+	return 0, 0, false
+}
+
+// RenderASCII draws the waveform as a terminal plot (log-free, mA on the
+// y-axis), the closest a CLI gets to Figure 3.
+func (t *Trace) RenderASCII(w io.Writer, width, height int) {
+	if width <= 0 {
+		width = 78
+	}
+	if height <= 0 {
+		height = 16
+	}
+	// Bucket samples into columns, keeping each column's max (spikes
+	// matter more than averages in this figure).
+	cols := make([]float64, width)
+	maxA := 0.0
+	for _, s := range t.Samples {
+		c := int(float64(s.At) / float64(sim.FromDuration(t.Window)) * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if s.CurrentA > cols[c] {
+			cols[c] = s.CurrentA
+		}
+		if s.CurrentA > maxA {
+			maxA = s.CurrentA
+		}
+	}
+	if maxA == 0 {
+		maxA = 1
+	}
+	fmt.Fprintf(w, "current draw (peak %.0f mA), %v window\n", maxA*1000, t.Window)
+	for row := height; row >= 1; row-- {
+		threshold := maxA * float64(row) / float64(height)
+		line := make([]byte, width)
+		for c := range cols {
+			if cols[c] >= threshold {
+				line[c] = '#'
+			} else {
+				line[c] = ' '
+			}
+		}
+		label := "      "
+		if row == height {
+			label = fmt.Sprintf("%4.0fmA", maxA*1000)
+		} else if row == 1 {
+			label = "   0mA"
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(line))
+	}
+	// Phase ruler.
+	ruler := []byte(strings.Repeat(" ", width))
+	for _, mk := range t.Marks {
+		c := int(float64(mk.At) / float64(sim.FromDuration(t.Window)) * float64(width))
+		if c >= 0 && c < width {
+			ruler[c] = '^'
+		}
+	}
+	fmt.Fprintf(w, "       %s\n", string(ruler))
+	for _, mk := range t.Marks {
+		fmt.Fprintf(w, "       ^ %v %s\n", mk.At, mk.Label)
+	}
+}

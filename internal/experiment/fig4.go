@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"wile/internal/energy"
+)
+
+// Fig4Point is one (interval, power) sample of one curve.
+type Fig4Point struct {
+	Interval time.Duration
+	PowerW   float64
+}
+
+// Fig4Series is one technology's curve.
+type Fig4Series struct {
+	Name   string
+	Points []Fig4Point
+}
+
+// Fig4Result reproduces Figure 4: average power vs transmission interval
+// for all four technologies, 0–5 minutes.
+type Fig4Result struct {
+	Series []Fig4Series
+	// CrossoverDCPS is the interval where WiFi-DC becomes cheaper than
+	// WiFi-PS (the paper places it under ≈1 minute).
+	CrossoverDCPS time.Duration
+}
+
+// DefaultFig4Intervals sweeps the paper's x-axis (it starts just above
+// zero; we start at 1 s).
+func DefaultFig4Intervals() []time.Duration {
+	var out []time.Duration
+	for s := 1; s <= 300; s++ {
+		out = append(out, time.Duration(s)*time.Second)
+	}
+	return out
+}
+
+// RunFig4 evaluates Equation 1 over the sweep using the measured Table-1
+// episodes.
+func RunFig4(table *Table1Result, intervals []time.Duration) *Fig4Result {
+	if len(intervals) == 0 {
+		intervals = DefaultFig4Intervals()
+	}
+	scenarios := table.Scenarios()
+	res := &Fig4Result{}
+	for _, sc := range scenarios {
+		series := Fig4Series{Name: sc.Name}
+		for _, interval := range intervals {
+			series.Points = append(series.Points, Fig4Point{
+				Interval: interval,
+				PowerW:   sc.AveragePowerW(interval),
+			})
+		}
+		res.Series = append(res.Series, series)
+	}
+	res.CrossoverDCPS = findCrossover(scenarios)
+	return res
+}
+
+// findCrossover bisects for the WiFi-DC/WiFi-PS equal-power interval.
+func findCrossover(scenarios []energy.Scenario) time.Duration {
+	var dc, ps *energy.Scenario
+	for i := range scenarios {
+		switch scenarios[i].Name {
+		case "WiFi-DC":
+			dc = &scenarios[i]
+		case "WiFi-PS":
+			ps = &scenarios[i]
+		}
+	}
+	if dc == nil || ps == nil {
+		return 0
+	}
+	lo, hi := time.Second, 10*time.Minute
+	if dc.AveragePowerW(lo) <= ps.AveragePowerW(lo) {
+		return 0 // no crossover in range
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if dc.AveragePowerW(mid) > ps.AveragePowerW(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// WriteCSV exports the curves as interval_s, then one power column (mW)
+// per technology.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "interval_s"); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		if _, err := fmt.Fprintf(w, ",%s_mW", s.Name); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+	if len(r.Series) == 0 {
+		return nil
+	}
+	for i := range r.Series[0].Points {
+		if _, err := fmt.Fprintf(w, "%.0f", r.Series[0].Points[i].Interval.Seconds()); err != nil {
+			return err
+		}
+		for _, s := range r.Series {
+			if _, err := fmt.Fprintf(w, ",%.6g", s.Points[i].PowerW*1000); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RenderASCII draws the log-y plot the paper's Figure 4 uses.
+func (r *Fig4Result) RenderASCII(w io.Writer, width, height int) {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	if len(r.Series) == 0 {
+		return
+	}
+	// Log scale spanning the data.
+	minLog, maxLog := math.Inf(1), math.Inf(-1)
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			l := math.Log10(p.PowerW * 1000) // mW
+			minLog = math.Min(minLog, l)
+			maxLog = math.Max(maxLog, l)
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(repeatByte(' ', width))
+	}
+	glyphs := map[string]byte{"Wi-LE": 'w', "BLE": 'b', "WiFi-DC": 'D', "WiFi-PS": 'P'}
+	maxInterval := r.Series[0].Points[len(r.Series[0].Points)-1].Interval
+	for _, s := range r.Series {
+		g, ok := glyphs[s.Name]
+		if !ok {
+			g = '*'
+		}
+		for _, p := range s.Points {
+			x := int(float64(p.Interval) / float64(maxInterval) * float64(width-1))
+			l := math.Log10(p.PowerW * 1000)
+			y := int((l - minLog) / (maxLog - minLog) * float64(height-1))
+			row := height - 1 - y
+			if row >= 0 && row < height && x >= 0 && x < width {
+				grid[row][x] = g
+			}
+		}
+	}
+	fmt.Fprintf(w, "Figure 4: average power vs transmission interval (log y: %.3g..%.3g mW)\n",
+		math.Pow(10, minLog), math.Pow(10, maxLog))
+	for _, line := range grid {
+		fmt.Fprintf(w, "|%s|\n", line)
+	}
+	fmt.Fprintf(w, "0%svs %v   legend: P=WiFi-PS D=WiFi-DC w=Wi-LE b=BLE\n",
+		repeatByte(' ', width-24), maxInterval)
+	if r.CrossoverDCPS > 0 {
+		fmt.Fprintf(w, "WiFi-PS/WiFi-DC crossover at %v (paper: below ≈1 minute)\n",
+			r.CrossoverDCPS.Round(time.Second))
+	}
+}
+
+func repeatByte(b byte, n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return string(out)
+}

@@ -1,0 +1,343 @@
+// Package experiment reproduces every table and figure in the paper's
+// evaluation (§5): the Figure 3 current traces, Table 1's energy-per-packet
+// and idle-current comparison, Figure 4's average-power sweep, the §3.1
+// frame-count claims, and the ablations DESIGN.md calls out.
+//
+// Every experiment builds its own fresh simulation world with fixed seeds,
+// so results are bit-identical run to run. Nothing here hardcodes a paper
+// number: each value is measured from the simulated device's waveform and
+// then *compared* against the paper in EXPERIMENTS.md.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"wile/internal/ap"
+	"wile/internal/ble"
+	"wile/internal/core"
+	"wile/internal/dot11"
+	"wile/internal/energy"
+	"wile/internal/esp32"
+	"wile/internal/medium"
+	"wile/internal/netstack"
+	"wile/internal/phy"
+	"wile/internal/sim"
+	"wile/internal/sta"
+)
+
+// Standard testbed layout, mirroring §5.1: one AP, one device a few
+// meters away, a monitor-mode receiver in between.
+var (
+	apPos     = medium.Position{X: 0, Y: 0}
+	devicePos = medium.Position{X: 3, Y: 0}
+)
+
+const (
+	testSSID       = "google-wifi"
+	testPassphrase = "correct horse battery staple"
+)
+
+// world bundles one experiment's simulation.
+type world struct {
+	sched *sim.Scheduler
+	med   *medium.Medium
+}
+
+func newWorld() *world {
+	s := sim.New()
+	return &world{sched: s, med: medium.New(s, phy.WiFi24Channel(6))}
+}
+
+func (w *world) newAP() *ap.AP {
+	a := ap.New(w.sched, w.med, ap.Config{
+		SSID:       testSSID,
+		Passphrase: testPassphrase,
+		BSSID:      dot11.MustParseMAC("aa:bb:cc:00:00:01"),
+		Channel:    6,
+		IP:         netstack.MustParseIP("192.168.86.1"),
+		Position:   apPos,
+	})
+	a.Start()
+	return a
+}
+
+func (w *world) newStation() *sta.Station {
+	return sta.New(w.sched, w.med, sta.Config{
+		SSID:       testSSID,
+		Passphrase: testPassphrase,
+		Addr:       dot11.MustParseMAC("02:57:00:00:00:01"),
+		Position:   devicePos,
+	})
+}
+
+// Episode is one measured transmission episode.
+type Episode struct {
+	// EnergyJ is the episode's energy above the idle floor.
+	EnergyJ float64
+	// Duration is how long the device was out of its idle state.
+	Duration time.Duration
+	// IdleCurrentA is the between-episodes current.
+	IdleCurrentA float64
+	// VoltageV is the rail voltage.
+	VoltageV float64
+}
+
+// Scenario converts the measurement into the Equation-1 form.
+func (e Episode) Scenario(name string) energy.Scenario {
+	return energy.Scenario{
+		Name:             name,
+		EnergyPerPacketJ: e.EnergyJ,
+		TxDuration:       e.Duration,
+		IdleCurrentA:     e.IdleCurrentA,
+		VoltageV:         e.VoltageV,
+	}
+}
+
+// MeasureWiLE runs one Wi-LE wake cycle and returns the Table-1 episode:
+// per §5.4 the energy counts only the radio-on transmit window ("we
+// consider only the time required to transmit the packet"), while Duration
+// covers the whole wake for Equation 1. The full-cycle (as-prototyped)
+// energy is returned separately.
+func MeasureWiLE() (episode Episode, fullCycleJ float64, err error) {
+	w := newWorld()
+	sensor := core.NewSensor(w.sched, w.med, core.SensorConfig{DeviceID: 0x1001, Position: devicePos})
+	scanner := core.NewScanner(w.sched, w.med, core.ScannerConfig{Position: apPos})
+	scanner.Start()
+	received := false
+	scanner.OnMessage = func(*core.Message, core.Meta) { received = true }
+
+	start := w.sched.Now()
+	var txOK *bool
+	sensor.TransmitOnce([]core.Reading{core.Temperature(17.0)}, func(ok bool) { txOK = &ok })
+	w.sched.RunUntil(2 * sim.Second)
+	if txOK == nil || !*txOK {
+		return Episode{}, 0, fmt.Errorf("experiment: Wi-LE transmission did not complete")
+	}
+	if !received {
+		return Episode{}, 0, fmt.Errorf("experiment: Wi-LE beacon not received by monitor")
+	}
+
+	// TX-window energy: charge drawn at the TX burst current.
+	var txCharge float64
+	var wakeEnd sim.Time
+	steps := sensor.Dev.Steps()
+	for i, s := range steps {
+		end := w.sched.Now()
+		if i+1 < len(steps) {
+			end = steps[i+1].At
+		}
+		if s.CurrentA == esp32.TxBurstCurrentA {
+			txCharge += s.CurrentA * end.Sub(s.At).Seconds()
+		}
+		if s.CurrentA > esp32.StateCurrentA(esp32.StateDeepSleep) {
+			wakeEnd = end
+		}
+	}
+	fullCycleJ = sensor.Dev.EnergyJ()
+	return Episode{
+		EnergyJ:      txCharge * esp32.VoltageV,
+		Duration:     wakeEnd.Sub(start),
+		IdleCurrentA: esp32.StateCurrentA(esp32.StateDeepSleep),
+		VoltageV:     esp32.VoltageV,
+	}, fullCycleJ, nil
+}
+
+// MeasureBLE returns the CC2541 baseline episode (§5.4: the TI report's
+// connection-event integral).
+func MeasureBLE() (Episode, error) {
+	// Verify the analytic value against a simulated device run.
+	s := sim.New()
+	dev := ble.NewDevice(s)
+	dev.PlayConnectionEvent(nil)
+	s.Run()
+	simulated := dev.EnergyJ()
+	analytic := ble.ConnectionEventEnergyJ()
+	if diff := simulated - analytic; diff > analytic*0.01 || diff < -analytic*0.01 {
+		return Episode{}, fmt.Errorf("experiment: BLE device/analytic mismatch: %v vs %v", simulated, analytic)
+	}
+	return Episode{
+		EnergyJ:      simulated,
+		Duration:     ble.ConnectionEventDuration(),
+		IdleCurrentA: ble.CC2541SleepCurrentA,
+		VoltageV:     ble.CC2541VoltageV,
+	}, nil
+}
+
+// MeasureWiFiDC runs the full §5.3 duty-cycle episode (Figure 3a): wake
+// from deep sleep, boot, rejoin, one datagram, deep sleep.
+func MeasureWiFiDC() (Episode, error) {
+	w := newWorld()
+	w.newAP()
+	station := w.newStation()
+	dev := station.Dev
+
+	start := w.sched.Now()
+	var joinErr error
+	var txOK *bool
+	dev.SetState(esp32.StateCPUActive)
+	dev.PlaySegments(esp32.BootWiFi(), func() {
+		station.Join(func(err error) {
+			if err != nil {
+				joinErr = err
+				return
+			}
+			station.SendReading([]byte("temp=17.0"), 5683, func(ok bool) {
+				txOK = &ok
+				station.Sleep()
+			})
+		})
+	})
+	w.sched.RunUntil(5 * sim.Second)
+	if joinErr != nil {
+		return Episode{}, fmt.Errorf("experiment: WiFi-DC join: %w", joinErr)
+	}
+	if txOK == nil || !*txOK {
+		return Episode{}, fmt.Errorf("experiment: WiFi-DC transmission did not complete")
+	}
+
+	var wakeEnd sim.Time
+	steps := dev.Steps()
+	for i, s := range steps {
+		end := w.sched.Now()
+		if i+1 < len(steps) {
+			end = steps[i+1].At
+		}
+		if s.CurrentA > esp32.StateCurrentA(esp32.StateDeepSleep) {
+			wakeEnd = end
+		}
+	}
+	duration := wakeEnd.Sub(start)
+	idle := esp32.StateCurrentA(esp32.StateDeepSleep)
+	total := dev.EnergyJ()
+	// Subtract the deep-sleep floor outside the episode (negligible, but
+	// keep the arithmetic honest).
+	sleepJ := idle * esp32.VoltageV * (w.sched.Now().Sub(start) - duration).Seconds()
+	return Episode{
+		EnergyJ:      total - sleepJ,
+		Duration:     duration,
+		IdleCurrentA: idle,
+		VoltageV:     esp32.VoltageV,
+	}, nil
+}
+
+// MeasureWiFiPS joins once, enters aggressive power save, and measures one
+// transmit episode above the PS idle floor (§5.3 WiFi-PS).
+func MeasureWiFiPS() (Episode, error) {
+	w := newWorld()
+	w.newAP()
+	station := w.newStation()
+
+	var joinErr error
+	joined := false
+	station.Dev.SetState(esp32.StateCPUActive)
+	station.Join(func(err error) { joinErr = err; joined = err == nil })
+	w.sched.RunUntil(5 * sim.Second)
+	if joinErr != nil || !joined {
+		return Episode{}, fmt.Errorf("experiment: WiFi-PS join: %v", joinErr)
+	}
+	psEntered := false
+	station.EnterPowerSave(func(ok bool) { psEntered = ok })
+	w.sched.RunFor(time.Second)
+	if !psEntered {
+		return Episode{}, fmt.Errorf("experiment: power-save entry failed")
+	}
+
+	before := station.Dev.EnergyJ()
+	start := w.sched.Now()
+	var txOK *bool
+	if err := station.SendReadingPS([]byte("temp=17.0"), 5683, func(ok bool) { txOK = &ok }); err != nil {
+		return Episode{}, err
+	}
+	w.sched.RunFor(time.Second)
+	if txOK == nil || !*txOK {
+		return Episode{}, fmt.Errorf("experiment: WiFi-PS transmission did not complete")
+	}
+	idle := esp32.StateCurrentA(esp32.StateWiFiPSIdle)
+	elapsed := w.sched.Now().Sub(start)
+	episodeJ := station.Dev.EnergyJ() - before - idle*esp32.VoltageV*elapsed.Seconds()
+	// Episode duration: wake CPU + listen + transmission, from the
+	// station's timing configuration.
+	dur := station.Cfg.Timing.PSWakeCPU + station.Cfg.Timing.PSWakeListen + 5*time.Millisecond
+	return Episode{
+		EnergyJ:      episodeJ,
+		Duration:     dur,
+		IdleCurrentA: idle,
+		VoltageV:     esp32.VoltageV,
+	}, nil
+}
+
+// MeasureWiFiDCFast runs the cached-lease variant of the duty-cycle
+// episode: the first wake performs a full join and stores the lease; the
+// measured wake reuses it, skipping the DHCP/ARP phase entirely. One of
+// the §1 "several different approaches to reducing overall power
+// consumption" the paper's in-depth study motivates.
+func MeasureWiFiDCFast() (Episode, error) {
+	w := newWorld()
+	w.newAP()
+	station := w.newStation()
+	dev := station.Dev
+
+	// Cycle 1: full join to obtain the lease (not measured).
+	var firstErr error
+	dev.SetState(esp32.StateCPUActive)
+	station.Join(func(err error) { firstErr = err })
+	w.sched.RunUntil(5 * sim.Second)
+	if firstErr != nil || !station.Joined() {
+		return Episode{}, fmt.Errorf("experiment: priming join: %v", firstErr)
+	}
+	lease := station.CurrentLease()
+	station.Cfg.CachedLease = lease
+	station.Sleep()
+	w.sched.RunFor(time.Second)
+
+	// Cycle 2: measured fast rejoin.
+	start := w.sched.Now()
+	before := dev.EnergyJ()
+	var joinErr error
+	var txOK *bool
+	dev.SetState(esp32.StateCPUActive)
+	dev.PlaySegments(esp32.BootWiFi(), func() {
+		station.Join(func(err error) {
+			if err != nil {
+				joinErr = err
+				return
+			}
+			station.SendReading([]byte("temp=17.0"), 5683, func(ok bool) {
+				txOK = &ok
+				station.Sleep()
+			})
+		})
+	})
+	w.sched.RunUntil(start + 5*sim.Second)
+	if joinErr != nil {
+		return Episode{}, fmt.Errorf("experiment: fast rejoin: %w", joinErr)
+	}
+	if txOK == nil || !*txOK {
+		return Episode{}, fmt.Errorf("experiment: fast-rejoin transmission incomplete")
+	}
+
+	var wakeEnd sim.Time
+	steps := dev.Steps()
+	for i, s := range steps {
+		if s.At < start {
+			continue
+		}
+		end := w.sched.Now()
+		if i+1 < len(steps) {
+			end = steps[i+1].At
+		}
+		if s.CurrentA > esp32.StateCurrentA(esp32.StateDeepSleep) {
+			wakeEnd = end
+		}
+	}
+	duration := wakeEnd.Sub(start)
+	idle := esp32.StateCurrentA(esp32.StateDeepSleep)
+	episodeJ := dev.EnergyJ() - before - idle*esp32.VoltageV*(w.sched.Now().Sub(start)-duration).Seconds()
+	return Episode{
+		EnergyJ:      episodeJ,
+		Duration:     duration,
+		IdleCurrentA: idle,
+		VoltageV:     esp32.VoltageV,
+	}, nil
+}

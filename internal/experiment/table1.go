@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"wile/internal/energy"
+)
+
+// Table1Row is one technology's measured column of Table 1.
+type Table1Row struct {
+	Name string
+	// EnergyPerPacketJ is the measured per-message energy.
+	EnergyPerPacketJ float64
+	// IdleCurrentA is the measured between-messages current.
+	IdleCurrentA float64
+	// PaperEnergyJ / PaperIdleA are the published values for comparison.
+	PaperEnergyJ float64
+	PaperIdleA   float64
+	// Episode carries the full measurement for Figure 4.
+	Episode Episode
+}
+
+// EnergyError reports the relative deviation from the paper's value.
+func (r Table1Row) EnergyError() float64 {
+	return (r.EnergyPerPacketJ - r.PaperEnergyJ) / r.PaperEnergyJ
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+	// WiLEFullCycleJ is the as-prototyped Wi-LE wake-cycle energy
+	// (§5.4 notes the prototype's init dominates and an ASIC would
+	// remove it; Table 1's Wi-LE row counts the TX window only).
+	WiLEFullCycleJ float64
+}
+
+// RunTable1 measures all four scenarios.
+func RunTable1() (*Table1Result, error) {
+	wile, fullCycle, err := MeasureWiLE()
+	if err != nil {
+		return nil, err
+	}
+	bleEp, err := MeasureBLE()
+	if err != nil {
+		return nil, err
+	}
+	dc, err := MeasureWiFiDC()
+	if err != nil {
+		return nil, err
+	}
+	ps, err := MeasureWiFiPS()
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Result{
+		Rows: []Table1Row{
+			{Name: "Wi-LE", EnergyPerPacketJ: wile.EnergyJ, IdleCurrentA: wile.IdleCurrentA,
+				PaperEnergyJ: 84e-6, PaperIdleA: 2.5e-6, Episode: wile},
+			{Name: "BLE", EnergyPerPacketJ: bleEp.EnergyJ, IdleCurrentA: bleEp.IdleCurrentA,
+				PaperEnergyJ: 71e-6, PaperIdleA: 1.1e-6, Episode: bleEp},
+			{Name: "WiFi-DC", EnergyPerPacketJ: dc.EnergyJ, IdleCurrentA: dc.IdleCurrentA,
+				PaperEnergyJ: 238.2e-3, PaperIdleA: 2.5e-6, Episode: dc},
+			{Name: "WiFi-PS", EnergyPerPacketJ: ps.EnergyJ, IdleCurrentA: ps.IdleCurrentA,
+				PaperEnergyJ: 19.8e-3, PaperIdleA: 4500e-6, Episode: ps},
+		},
+		WiLEFullCycleJ: fullCycle,
+	}, nil
+}
+
+// Scenarios converts the result to Equation-1 scenarios for Figure 4.
+func (t *Table1Result) Scenarios() []energy.Scenario {
+	out := make([]energy.Scenario, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		out = append(out, r.Episode.Scenario(r.Name))
+	}
+	return out
+}
+
+// Render prints the table in the paper's layout plus measured-vs-paper
+// deltas.
+func (t *Table1Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Energy required to transmit a message and idle current")
+	fmt.Fprintln(w, strings.Repeat("-", 78))
+	fmt.Fprintf(w, "%-16s %12s %12s %9s %12s %12s\n",
+		"", "Wi-LE", "BLE", "", "WiFi-DC", "WiFi-PS")
+	row := func(label string, f func(Table1Row) string) {
+		fmt.Fprintf(w, "%-16s %12s %12s %9s %12s %12s\n",
+			label, f(t.Rows[0]), f(t.Rows[1]), "", f(t.Rows[2]), f(t.Rows[3]))
+	}
+	row("Energy/packet", func(r Table1Row) string { return energy.FormatJoules(r.EnergyPerPacketJ) })
+	row("  (paper)", func(r Table1Row) string { return energy.FormatJoules(r.PaperEnergyJ) })
+	row("  (delta)", func(r Table1Row) string { return fmt.Sprintf("%+.1f%%", r.EnergyError()*100) })
+	row("Idle current", func(r Table1Row) string { return energy.FormatAmps(r.IdleCurrentA) })
+	row("  (paper)", func(r Table1Row) string { return energy.FormatAmps(r.PaperIdleA) })
+	fmt.Fprintln(w, strings.Repeat("-", 78))
+	fmt.Fprintf(w, "Wi-LE full wake cycle (prototype incl. MCU boot): %s\n",
+		energy.FormatJoules(t.WiLEFullCycleJ))
+	fmt.Fprintf(w, "Wi-LE episode duration %v; WiFi-DC episode duration %v\n",
+		t.Rows[0].Episode.Duration.Round(time.Millisecond),
+		t.Rows[2].Episode.Duration.Round(time.Millisecond))
+}

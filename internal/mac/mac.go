@@ -1,0 +1,448 @@
+// Package mac implements the 802.11 distributed coordination function: a
+// per-device Port that carrier-senses, backs off, transmits, auto-ACKs and
+// retransmits. Every frame in the Figure 3a join — and every beacon Wi-LE
+// injects — goes through a Port, so inter-frame timing in the simulation
+// follows the DCF rules rather than hand-placed delays.
+package mac
+
+import (
+	"fmt"
+	"time"
+
+	"wile/internal/dot11"
+	"wile/internal/medium"
+	"wile/internal/phy"
+	"wile/internal/sim"
+)
+
+// RetryLimit is the dot11ShortRetryLimit default.
+const RetryLimit = 7
+
+// RadioListener receives notifications when the port's radio amplifier
+// turns on. Device power models implement it to place TX current spikes at
+// the exact instants frames fly.
+type RadioListener interface {
+	// RadioTx reports the start of a transmission lasting airtime.
+	RadioTx(airtime time.Duration)
+}
+
+// ControlRate reports the rate used for ACK/CTS responses to frames
+// received at r: the highest basic rate of the same family at or below r.
+func ControlRate(r phy.Rate) phy.Rate {
+	switch r.Mod {
+	case phy.ModDSSS:
+		return phy.RateDSSS1
+	default:
+		return phy.RateOFDM6
+	}
+}
+
+// outgoing is one queued MPDU.
+type outgoing struct {
+	frame   dot11.Frame
+	raw     []byte
+	rate    phy.Rate
+	wantACK bool
+	retries int
+	done    func(ok bool)
+}
+
+// Stats counts per-port MAC events.
+type Stats struct {
+	TxFrames     int // MPDUs put on the air, including retries and ACKs
+	TxACKs       int
+	RxFrames     int // decodable frames addressed to (or observed by) us
+	RxFCSErrors  int
+	RxDuplicates int // retransmissions filtered by duplicate detection
+	Retries      int
+	Drops        int // frames dropped after RetryLimit
+}
+
+// Port is one station's MAC entity.
+type Port struct {
+	// Addr is the port's MAC address.
+	Addr dot11.MAC
+	// Rate is the PHY rate for transmitted frames.
+	Rate phy.Rate
+	// Handler receives frames addressed to this port (unicast match or
+	// group address) after FCS check and auto-ACK.
+	Handler func(f dot11.Frame, rx medium.Reception)
+	// Monitor, when set, receives every decodable frame regardless of
+	// addressing — monitor mode, which is how the Wi-LE evaluation's
+	// receiver verifies injected beacons.
+	Monitor func(f dot11.Frame, rx medium.Reception)
+	// Radio, when set, is notified of transmit bursts for power modeling.
+	Radio RadioListener
+	// AutoACK controls whether unicast receptions are acknowledged.
+	AutoACK bool
+	// Stats accumulates counters.
+	Stats Stats
+
+	sched *sim.Scheduler
+	med   *medium.Medium
+	trx   *medium.Transceiver
+	rng   *sim.Rand
+
+	seq     uint16
+	queue   []*outgoing
+	current *outgoing
+	// rxCache holds the last accepted (sequence, fragment) per
+	// transmitter for the standard's duplicate detection: a retransmitted
+	// frame whose ACK was lost must be ACKed again but not re-delivered.
+	rxCache map[dot11.MAC]uint16
+	// inAccess marks that a channel-access procedure is scheduled.
+	inAccess bool
+	// backoffRemaining preserves a frozen backoff counter across busy
+	// periods, as the DCF requires.
+	backoffRemaining int
+	ackTimer         *sim.Event
+}
+
+// New attaches a port to the medium at pos.
+func New(sched *sim.Scheduler, med *medium.Medium, name string, pos medium.Position,
+	addr dot11.MAC, rate phy.Rate, txPower, sensitivity phy.DBm, rng *sim.Rand) *Port {
+	p := &Port{
+		Addr:    addr,
+		Rate:    rate,
+		AutoACK: true,
+		sched:   sched,
+		med:     med,
+		rng:     rng,
+	}
+	p.trx = med.Attach(name, pos, txPower, sensitivity)
+	p.trx.Handler = p.receive
+	return p
+}
+
+// Transceiver exposes the underlying radio (for power control and tests).
+func (p *Port) Transceiver() *medium.Transceiver { return p.trx }
+
+// SetRadioOn powers the radio. Powering off cancels nothing in the TX
+// queue, but nothing will transmit or be received until power returns.
+func (p *Port) SetRadioOn(on bool) { p.trx.SetOn(on) }
+
+// timing reports the DCF parameters for the port's current rate.
+func (p *Port) timing() phy.MACTiming { return phy.Timing(p.Rate) }
+
+// nextSeq allocates the next sequence number.
+func (p *Port) nextSeq() uint16 {
+	s := p.seq
+	p.seq = (p.seq + 1) & 0xfff
+	return s
+}
+
+// setSequence stamps the frame's header if it has a full MAC header.
+func setSequence(f dot11.Frame, seq uint16) {
+	switch t := f.(type) {
+	case *dot11.Beacon:
+		t.Header.Sequence = seq
+	case *dot11.ProbeReq:
+		t.Header.Sequence = seq
+	case *dot11.ProbeResp:
+		t.Header.Sequence = seq
+	case *dot11.Auth:
+		t.Header.Sequence = seq
+	case *dot11.AssocReq:
+		t.Header.Sequence = seq
+	case *dot11.AssocResp:
+		t.Header.Sequence = seq
+	case *dot11.Deauth:
+		t.Header.Sequence = seq
+	case *dot11.Disassoc:
+		t.Header.Sequence = seq
+	case *dot11.Data:
+		t.Header.Sequence = seq
+	}
+}
+
+// Send queues f for transmission under the DCF. done, if non-nil, is
+// called with the delivery outcome: true when the frame needed no ACK
+// (group-addressed) and was transmitted, or when the ACK arrived; false
+// after RetryLimit unacknowledged attempts.
+func (p *Port) Send(f dot11.Frame, done func(ok bool)) error {
+	setSequence(f, p.nextSeq())
+	raw, err := dot11.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("mac: marshal %v: %w", f.Kind(), err)
+	}
+	_, isCtl := f.(*dot11.ACK)
+	wantACK := !f.RA().IsGroup() && !isCtl
+	p.queue = append(p.queue, &outgoing{frame: f, raw: raw, rate: p.Rate, wantACK: wantACK, done: done})
+	p.kick()
+	return nil
+}
+
+// kick starts a channel-access procedure if one is not already running.
+func (p *Port) kick() {
+	if p.inAccess || p.current != nil || len(p.queue) == 0 {
+		return
+	}
+	p.inAccess = true
+	p.backoffRemaining = -1 // draw fresh backoff for the new frame
+	p.access()
+}
+
+// access implements DIFS + backoff. The medium must be idle for a full
+// DIFS before the backoff counter runs; the counter freezes while the
+// medium is busy and resumes after the next idle DIFS.
+func (p *Port) access() {
+	if until := p.med.BusyUntil(p.trx); until > p.sched.Now() {
+		// Busy: try again when the medium frees (postDIFS re-verifies).
+		p.sched.At(until, p.access)
+		return
+	}
+	p.sched.After(p.timing().DIFS(), p.postDIFS)
+}
+
+// postDIFS runs after a DIFS of intended idle time; if the medium got busy
+// meanwhile the access procedure restarts.
+func (p *Port) postDIFS() {
+	if p.med.Busy(p.trx) {
+		p.access()
+		return
+	}
+	if p.backoffRemaining < 0 {
+		cw := p.contentionWindow()
+		p.backoffRemaining = p.rng.Intn(cw + 1)
+	}
+	p.countdown()
+}
+
+// contentionWindow reports the current CW given the retry count.
+func (p *Port) contentionWindow() int {
+	t := p.timing()
+	cw := t.CWMin
+	retries := 0
+	if len(p.queue) > 0 {
+		retries = p.queue[0].retries
+	}
+	for i := 0; i < retries; i++ {
+		cw = cw*2 + 1
+		if cw > t.CWMax {
+			cw = t.CWMax
+			break
+		}
+	}
+	return cw
+}
+
+// countdown burns backoff slots while the medium stays idle.
+func (p *Port) countdown() {
+	if p.med.Busy(p.trx) {
+		p.access() // freeze; access reschedules after busy+DIFS
+		return
+	}
+	if p.backoffRemaining == 0 {
+		p.transmitHead()
+		return
+	}
+	p.backoffRemaining--
+	p.sched.After(p.timing().Slot, p.countdown)
+}
+
+// transmitHead puts the head-of-queue frame on the air.
+func (p *Port) transmitHead() {
+	p.inAccess = false
+	if len(p.queue) == 0 {
+		return
+	}
+	out := p.queue[0]
+	p.queue = p.queue[1:]
+	p.current = out
+	p.transmit(out)
+}
+
+// transmit sends out and arms the ACK timer if needed.
+func (p *Port) transmit(out *outgoing) {
+	if !p.trx.On() {
+		// Radio was powered down with traffic queued: fail the frame
+		// rather than transmitting from a dead radio.
+		p.finish(out, false)
+		return
+	}
+	airtime := p.med.Transmit(p.trx, out.raw, out.rate)
+	p.Stats.TxFrames++
+	if p.Radio != nil {
+		p.Radio.RadioTx(airtime)
+	}
+	if !out.wantACK {
+		p.sched.After(airtime, func() { p.finish(out, true) })
+		return
+	}
+	t := p.timing()
+	ackAirtime := phy.FrameAirtime(ControlRate(out.rate), 14)
+	timeout := airtime + t.SIFS + ackAirtime + 2*t.Slot
+	p.ackTimer = p.sched.After(timeout, func() { p.ackTimeout(out) })
+}
+
+// ackTimeout retries or drops the unacknowledged frame.
+func (p *Port) ackTimeout(out *outgoing) {
+	p.ackTimer = nil
+	out.retries++
+	p.Stats.Retries++
+	if out.retries > RetryLimit {
+		p.Stats.Drops++
+		p.finish(out, false)
+		return
+	}
+	// Mark the retry bit like real hardware does and re-contend.
+	markRetry(out)
+	p.current = nil
+	p.queue = append([]*outgoing{out}, p.queue...)
+	p.kick()
+}
+
+// markRetry sets the retry bit in the serialized frame and fixes the FCS.
+func markRetry(out *outgoing) {
+	raw, err := dot11.Marshal(withRetry(out.frame))
+	if err == nil {
+		out.raw = raw
+	}
+}
+
+// withRetry flips the retry bit on the frame's header.
+func withRetry(f dot11.Frame) dot11.Frame {
+	switch t := f.(type) {
+	case *dot11.Beacon:
+		t.Header.FC.Retry = true
+	case *dot11.ProbeReq:
+		t.Header.FC.Retry = true
+	case *dot11.ProbeResp:
+		t.Header.FC.Retry = true
+	case *dot11.Auth:
+		t.Header.FC.Retry = true
+	case *dot11.AssocReq:
+		t.Header.FC.Retry = true
+	case *dot11.AssocResp:
+		t.Header.FC.Retry = true
+	case *dot11.Deauth:
+		t.Header.FC.Retry = true
+	case *dot11.Disassoc:
+		t.Header.FC.Retry = true
+	case *dot11.Data:
+		t.Header.FC.Retry = true
+	}
+	return f
+}
+
+// finish completes the current frame and moves on.
+func (p *Port) finish(out *outgoing, ok bool) {
+	if p.current == out {
+		p.current = nil
+	}
+	if out.done != nil {
+		out.done(ok)
+	}
+	p.kick()
+}
+
+// receive handles every delivery from the medium.
+func (p *Port) receive(rx medium.Reception) {
+	f, err := dot11.Decode(rx.Data)
+	if err != nil {
+		p.Stats.RxFCSErrors++
+		return
+	}
+	if p.Monitor != nil {
+		p.Monitor(f, rx)
+	}
+	// ACK completion for our pending frame.
+	if ack, isACK := f.(*dot11.ACK); isACK {
+		if p.current != nil && p.current.wantACK && ack.Receiver == p.Addr {
+			if p.ackTimer != nil {
+				p.sched.Cancel(p.ackTimer)
+				p.ackTimer = nil
+			}
+			p.finish(p.current, true)
+		}
+		return
+	}
+	ra := f.RA()
+	switch {
+	case ra == p.Addr:
+		p.Stats.RxFrames++
+		if p.AutoACK {
+			p.sendACK(f.TA(), rx.Rate)
+		}
+		if p.isDuplicate(f) {
+			p.Stats.RxDuplicates++
+			return
+		}
+		if p.Handler != nil {
+			p.Handler(f, rx)
+		}
+	case ra.IsGroup():
+		p.Stats.RxFrames++
+		if p.Handler != nil {
+			p.Handler(f, rx)
+		}
+	}
+}
+
+// frameSeqCtl reads a frame's sequence/fragment pair, if it carries one.
+func frameSeqCtl(f dot11.Frame) (uint16, bool) {
+	switch t := f.(type) {
+	case *dot11.Beacon:
+		return t.Header.Sequence<<4 | uint16(t.Header.Fragment), true
+	case *dot11.ProbeReq:
+		return t.Header.Sequence<<4 | uint16(t.Header.Fragment), true
+	case *dot11.ProbeResp:
+		return t.Header.Sequence<<4 | uint16(t.Header.Fragment), true
+	case *dot11.Auth:
+		return t.Header.Sequence<<4 | uint16(t.Header.Fragment), true
+	case *dot11.AssocReq:
+		return t.Header.Sequence<<4 | uint16(t.Header.Fragment), true
+	case *dot11.AssocResp:
+		return t.Header.Sequence<<4 | uint16(t.Header.Fragment), true
+	case *dot11.Deauth:
+		return t.Header.Sequence<<4 | uint16(t.Header.Fragment), true
+	case *dot11.Disassoc:
+		return t.Header.Sequence<<4 | uint16(t.Header.Fragment), true
+	case *dot11.Data:
+		return t.Header.Sequence<<4 | uint16(t.Header.Fragment), true
+	}
+	return 0, false
+}
+
+// isDuplicate implements the receiver duplicate-detection cache
+// (IEEE 802.11-2016 §10.3.2.11): the last sequence-control value accepted
+// from each transmitter; a match means a retransmission whose original
+// already reached us.
+func (p *Port) isDuplicate(f dot11.Frame) bool {
+	seqCtl, ok := frameSeqCtl(f)
+	if !ok {
+		return false
+	}
+	ta := f.TA()
+	if p.rxCache == nil {
+		p.rxCache = make(map[dot11.MAC]uint16)
+	}
+	last, seen := p.rxCache[ta]
+	p.rxCache[ta] = seqCtl
+	return seen && last == seqCtl
+}
+
+// sendACK transmits an ACK SIFS after the frame that elicited it,
+// bypassing the DCF (SIFS has priority over DIFS+backoff).
+func (p *Port) sendACK(to dot11.MAC, atRate phy.Rate) {
+	raw, err := dot11.Marshal(dot11.NewACK(to))
+	if err != nil {
+		return
+	}
+	t := p.timing()
+	p.sched.After(t.SIFS, func() {
+		if !p.trx.On() {
+			return
+		}
+		airtime := p.med.Transmit(p.trx, raw, ControlRate(atRate))
+		p.Stats.TxFrames++
+		p.Stats.TxACKs++
+		if p.Radio != nil {
+			p.Radio.RadioTx(airtime)
+		}
+	})
+}
+
+// QueueLen reports frames waiting for channel access (excluding the one in
+// flight).
+func (p *Port) QueueLen() int { return len(p.queue) }

@@ -1,0 +1,268 @@
+// Package medium simulates the shared 2.4/5 GHz radio channel: who hears
+// whom, at what signal strength, and which transmissions collide.
+//
+// The model is the standard discrete-event one: a transmission occupies the
+// channel for its PHY airtime; every attached transceiver on the same
+// channel whose received power clears its sensitivity gets a delivery event
+// at the transmission's end. Two transmissions overlapping in time at a
+// receiver corrupt each other unless one captures the receiver by a 10 dB
+// margin. Corruption is expressed by flipping bytes so the 802.11 FCS check
+// fails at decode time, exactly as on real hardware.
+package medium
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wile/internal/phy"
+	"wile/internal/sim"
+)
+
+// CaptureMarginDB is the power advantage at which the stronger of two
+// overlapping frames survives (physical-layer capture effect).
+const CaptureMarginDB = 10
+
+// Position is a 2-D location in meters.
+type Position struct{ X, Y float64 }
+
+// Distance reports the Euclidean distance to q, floored at 0.1 m to keep
+// the path-loss model sane for co-located devices.
+func (p Position) Distance(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	d := dx*dx + dy*dy
+	if d < 0.01 {
+		return 0.1
+	}
+	return math.Sqrt(d)
+}
+
+// Reception describes one frame arriving at a transceiver.
+type Reception struct {
+	// Data is the MPDU including FCS. If the frame collided, bytes have
+	// been flipped and the FCS will not verify.
+	Data []byte
+	// Rate is the PHY rate the frame was sent at.
+	Rate phy.Rate
+	// RSSI is the received signal strength.
+	RSSI phy.DBm
+	// Collided reports whether another transmission overlapped this one at
+	// the receiver above sensitivity (diagnostic; receivers should rely on
+	// the FCS).
+	Collided bool
+	// Start and End bound the frame's airtime.
+	Start, End sim.Time
+}
+
+// Transceiver is one radio attached to the medium.
+type Transceiver struct {
+	m *Medium
+	// Name labels the transceiver in diagnostics.
+	Name string
+	// Pos is the radio's location.
+	Pos Position
+	// Sensitivity is the weakest signal the radio can decode.
+	Sensitivity phy.DBm
+	// TxPower is the transmit power.
+	TxPower phy.DBm
+	// Handler receives every decodable frame while the radio is on. It
+	// runs inside the simulation event that delivers the frame.
+	Handler func(rx Reception)
+	// on tracks whether the radio is powered.
+	on bool
+}
+
+// SetOn powers the radio on or off. A powered-off radio neither receives
+// nor carrier-senses; this is what deep/light sleep do to the WiFi chip.
+func (t *Transceiver) SetOn(on bool) { t.on = on }
+
+// On reports whether the radio is powered.
+func (t *Transceiver) On() bool { return t.on }
+
+// transmission is one in-flight (or recently finished) frame.
+type transmission struct {
+	from       *Transceiver
+	data       []byte
+	rate       phy.Rate
+	start, end sim.Time
+}
+
+// Medium is one radio channel shared by a set of transceivers.
+type Medium struct {
+	sched *sim.Scheduler
+	// Channel is the radio channel; transceivers on a Medium implicitly
+	// share it (multi-channel setups build one Medium per channel).
+	Channel phy.Channel
+	// Loss is the propagation model.
+	Loss phy.PathLoss
+	// Corrupt controls whether collisions flip bytes (true, default via
+	// New) or merely set the Collided flag.
+	Corrupt bool
+
+	nodes   []*Transceiver
+	history []transmission
+	// Stats counts medium-level events for the experiment harness.
+	Stats Stats
+}
+
+// Stats aggregates medium activity.
+type Stats struct {
+	Transmissions int
+	Deliveries    int
+	Collisions    int
+}
+
+// New builds a medium on the given channel with an indoor path-loss model
+// (exponent 3.0, typical for the home/office environments in the paper).
+func New(sched *sim.Scheduler, ch phy.Channel) *Medium {
+	return &Medium{
+		sched:   sched,
+		Channel: ch,
+		Loss:    phy.PathLoss{Exponent: 3.0, FreqMHz: ch.FreqMHz},
+		Corrupt: true,
+	}
+}
+
+// Attach adds a radio at pos. The radio starts powered off.
+func (m *Medium) Attach(name string, pos Position, txPower, sensitivity phy.DBm) *Transceiver {
+	t := &Transceiver{m: m, Name: name, Pos: pos, Sensitivity: sensitivity, TxPower: txPower}
+	m.nodes = append(m.nodes, t)
+	return t
+}
+
+// rssiAt reports from's signal strength at to.
+func (m *Medium) rssiAt(from, to *Transceiver) phy.DBm {
+	return m.Loss.RSSI(from.TxPower, from.Pos.Distance(to.Pos))
+}
+
+// Busy reports whether t currently hears any transmission above its
+// sensitivity — the physical carrier-sense the DCF needs. A radio hears
+// its own transmission.
+func (m *Medium) Busy(t *Transceiver) bool {
+	now := m.sched.Now()
+	for _, tx := range m.history {
+		if tx.end <= now || tx.start > now {
+			continue
+		}
+		if tx.from == t {
+			return true
+		}
+		if m.rssiAt(tx.from, t) >= t.Sensitivity {
+			return true
+		}
+	}
+	return false
+}
+
+// BusyUntil reports the latest end time of any transmission t can hear, or
+// zero time if idle.
+func (m *Medium) BusyUntil(t *Transceiver) sim.Time {
+	now := m.sched.Now()
+	var until sim.Time
+	for _, tx := range m.history {
+		if tx.end <= now || tx.start > now {
+			continue
+		}
+		if (tx.from == t || m.rssiAt(tx.from, t) >= t.Sensitivity) && tx.end > until {
+			until = tx.end
+		}
+	}
+	return until
+}
+
+// Transmit puts data on the air from t at the given rate. The data slice
+// must not be mutated afterwards. Returns the airtime.
+func (m *Medium) Transmit(t *Transceiver, data []byte, rate phy.Rate) time.Duration {
+	if !t.on {
+		panic(fmt.Sprintf("medium: %s transmitting with radio off", t.Name))
+	}
+	airtime := phy.FrameAirtime(rate, len(data))
+	now := m.sched.Now()
+	tx := transmission{from: t, data: data, rate: rate, start: now, end: now.Add(airtime)}
+	m.history = append(m.history, tx)
+	m.Stats.Transmissions++
+	m.pruneHistory(now)
+
+	for _, rcv := range m.nodes {
+		if rcv == t {
+			continue
+		}
+		rcv := rcv
+		m.sched.At(tx.end, func() { m.deliver(tx, rcv) })
+	}
+	return airtime
+}
+
+// deliver decides at end-of-frame whether rcv decodes tx.
+func (m *Medium) deliver(tx transmission, rcv *Transceiver) {
+	if !rcv.on || rcv.Handler == nil {
+		return
+	}
+	rssi := m.rssiAt(tx.from, rcv)
+	if rssi < rcv.Sensitivity {
+		return
+	}
+	collided := false
+	for _, other := range m.history {
+		if other.from == tx.from && other.start == tx.start && other.end == tx.end {
+			continue
+		}
+		if other.start >= tx.end || other.end <= tx.start {
+			continue
+		}
+		if other.from == rcv {
+			// Receiver was itself transmitting: half-duplex radios miss
+			// everything during their own TX.
+			collided = true
+			break
+		}
+		otherRSSI := m.rssiAt(other.from, rcv)
+		if otherRSSI < rcv.Sensitivity {
+			continue
+		}
+		if float64(rssi-otherRSSI) >= CaptureMarginDB {
+			continue // we capture over the weaker frame
+		}
+		collided = true
+		break
+	}
+	data := tx.data
+	if collided {
+		m.Stats.Collisions++
+		if m.Corrupt {
+			corrupted := append([]byte(nil), data...)
+			// Flip a mid-frame byte so the FCS fails: the canonical
+			// collision outcome.
+			corrupted[len(corrupted)/2] ^= 0xff
+			data = corrupted
+		}
+	}
+	m.Stats.Deliveries++
+	rcv.Handler(Reception{
+		Data:     data,
+		Rate:     tx.rate,
+		RSSI:     rssi,
+		Collided: collided,
+		Start:    tx.start,
+		End:      tx.end,
+	})
+}
+
+// pruneHistory drops transmissions that ended more than a beacon interval
+// ago; nothing can overlap them anymore.
+func (m *Medium) pruneHistory(now sim.Time) {
+	const keep = 200 * sim.Millisecond
+	cutoff := now - keep
+	if cutoff < 0 {
+		return
+	}
+	i := 0
+	for _, tx := range m.history {
+		if tx.end >= cutoff {
+			m.history[i] = tx
+			i++
+		}
+	}
+	clear(m.history[i:])
+	m.history = m.history[:i]
+}

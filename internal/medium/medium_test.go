@@ -1,0 +1,274 @@
+package medium
+
+import (
+	"testing"
+
+	"wile/internal/phy"
+	"wile/internal/sim"
+)
+
+func newTestMedium() (*sim.Scheduler, *Medium) {
+	s := sim.New()
+	return s, New(s, phy.WiFi24Channel(6))
+}
+
+func TestDeliveryWithinRange(t *testing.T) {
+	s, m := newTestMedium()
+	tx := m.Attach("tx", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	rx := m.Attach("rx", Position{3, 0}, 0, phy.SensitivityWiFiMCS7)
+	tx.SetOn(true)
+	rx.SetOn(true)
+
+	var got []Reception
+	rx.Handler = func(r Reception) { got = append(got, r) }
+
+	data := make([]byte, 100)
+	airtime := m.Transmit(tx, data, phy.RateHTMCS7SGI)
+	s.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(got))
+	}
+	r := got[0]
+	if r.Collided {
+		t.Error("lone transmission marked collided")
+	}
+	if r.End.Sub(r.Start) != airtime {
+		t.Errorf("airtime %v, reception window %v", airtime, r.End.Sub(r.Start))
+	}
+	if r.RSSI >= 0 {
+		t.Errorf("RSSI %v not attenuated", r.RSSI)
+	}
+	if len(r.Data) != 100 {
+		t.Errorf("data length %d", len(r.Data))
+	}
+}
+
+func TestNoDeliveryBeyondRange(t *testing.T) {
+	s, m := newTestMedium()
+	tx := m.Attach("tx", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	// At 0 dBm with exponent 3, MCS7 sensitivity (-70 dBm) dies within
+	// ~10 m; put the receiver at 100 m.
+	rx := m.Attach("rx", Position{100, 0}, 0, phy.SensitivityWiFiMCS7)
+	tx.SetOn(true)
+	rx.SetOn(true)
+	delivered := false
+	rx.Handler = func(Reception) { delivered = true }
+	m.Transmit(tx, make([]byte, 50), phy.RateHTMCS7SGI)
+	s.Run()
+	if delivered {
+		t.Fatal("frame delivered beyond radio range")
+	}
+}
+
+func TestRadioOffReceivesNothing(t *testing.T) {
+	s, m := newTestMedium()
+	tx := m.Attach("tx", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	rx := m.Attach("rx", Position{1, 0}, 0, phy.SensitivityWiFiMCS7)
+	tx.SetOn(true)
+	delivered := false
+	rx.Handler = func(Reception) { delivered = true }
+	m.Transmit(tx, make([]byte, 50), phy.RateHTMCS7SGI)
+	s.Run()
+	if delivered {
+		t.Fatal("powered-off radio received a frame")
+	}
+}
+
+func TestTransmitWithRadioOffPanics(t *testing.T) {
+	_, m := newTestMedium()
+	tx := m.Attach("tx", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("transmit with radio off did not panic")
+		}
+	}()
+	m.Transmit(tx, make([]byte, 10), phy.RateHTMCS7SGI)
+}
+
+func TestOverlappingTransmissionsCollide(t *testing.T) {
+	s, m := newTestMedium()
+	a := m.Attach("a", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	b := m.Attach("b", Position{2, 0}, 0, phy.SensitivityWiFiMCS7)
+	rx := m.Attach("rx", Position{1, 0}, 0, phy.SensitivityWiFiMCS7)
+	for _, trx := range []*Transceiver{a, b, rx} {
+		trx.SetOn(true)
+	}
+	var got []Reception
+	rx.Handler = func(r Reception) { got = append(got, r) }
+
+	// Both transmit at t=0; equidistant, so neither captures.
+	m.Transmit(a, make([]byte, 200), phy.RateOFDM6)
+	m.Transmit(b, make([]byte, 200), phy.RateOFDM6)
+	s.Run()
+
+	if len(got) != 2 {
+		t.Fatalf("delivered %d, want 2 (both corrupted)", len(got))
+	}
+	for i, r := range got {
+		if !r.Collided {
+			t.Errorf("reception %d not marked collided", i)
+		}
+	}
+	if m.Stats.Collisions != 2 {
+		t.Errorf("collision count = %d", m.Stats.Collisions)
+	}
+}
+
+func TestCollisionCorruptsBytes(t *testing.T) {
+	s, m := newTestMedium()
+	a := m.Attach("a", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	b := m.Attach("b", Position{2, 0}, 0, phy.SensitivityWiFiMCS7)
+	rx := m.Attach("rx", Position{1, 0}, 0, phy.SensitivityWiFiMCS7)
+	for _, trx := range []*Transceiver{a, b, rx} {
+		trx.SetOn(true)
+	}
+	orig := make([]byte, 64)
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+	var got []Reception
+	rx.Handler = func(r Reception) { got = append(got, r) }
+	m.Transmit(a, orig, phy.RateOFDM6)
+	m.Transmit(b, make([]byte, 64), phy.RateOFDM6)
+	s.Run()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for _, r := range got {
+		same := true
+		if len(r.Data) != 64 {
+			continue
+		}
+		for i := range r.Data {
+			if r.Data[i] != orig[i] {
+				same = false
+			}
+		}
+		if same && r.Collided {
+			t.Error("collided frame delivered unmodified")
+		}
+	}
+	// The transmitter's original buffer must never be touched.
+	for i := range orig {
+		if orig[i] != byte(i) {
+			t.Fatal("transmit buffer mutated by collision corruption")
+		}
+	}
+}
+
+func TestCaptureEffect(t *testing.T) {
+	s, m := newTestMedium()
+	near := m.Attach("near", Position{1, 0}, 0, phy.SensitivityWiFi1M)
+	far := m.Attach("far", Position{30, 0}, 0, phy.SensitivityWiFi1M)
+	rx := m.Attach("rx", Position{0, 0}, 0, phy.SensitivityWiFi1M)
+	for _, trx := range []*Transceiver{near, far, rx} {
+		trx.SetOn(true)
+	}
+	var got []Reception
+	rx.Handler = func(r Reception) { got = append(got, r) }
+	// near is ~44 dB stronger at rx than far (exponent 3, 1 m vs 30 m):
+	// the near frame captures; the far frame is corrupted.
+	m.Transmit(near, make([]byte, 100), phy.RateOFDM6)
+	m.Transmit(far, make([]byte, 100), phy.RateOFDM6)
+	s.Run()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	byCollided := map[bool]int{}
+	for _, r := range got {
+		byCollided[r.Collided]++
+	}
+	if byCollided[false] != 1 || byCollided[true] != 1 {
+		t.Fatalf("capture effect: collided map %v, want one clean + one corrupted", byCollided)
+	}
+}
+
+func TestHalfDuplexSelfCollision(t *testing.T) {
+	s, m := newTestMedium()
+	a := m.Attach("a", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	b := m.Attach("b", Position{1, 0}, 0, phy.SensitivityWiFiMCS7)
+	a.SetOn(true)
+	b.SetOn(true)
+	var got []Reception
+	b.Handler = func(r Reception) { got = append(got, r) }
+	// b transmits while a's frame is in flight: b cannot hear a.
+	m.Transmit(a, make([]byte, 1000), phy.RateOFDM6)
+	m.Transmit(b, make([]byte, 10), phy.RateOFDM6)
+	s.Run()
+	if len(got) != 1 || !got[0].Collided {
+		t.Fatalf("half-duplex rx while tx: %+v", got)
+	}
+}
+
+func TestBusyAndBusyUntil(t *testing.T) {
+	s, m := newTestMedium()
+	a := m.Attach("a", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	b := m.Attach("b", Position{1, 0}, 0, phy.SensitivityWiFiMCS7)
+	a.SetOn(true)
+	b.SetOn(true)
+	if m.Busy(b) {
+		t.Fatal("medium busy before any transmission")
+	}
+	airtime := m.Transmit(a, make([]byte, 500), phy.RateOFDM6)
+	if !m.Busy(b) {
+		t.Fatal("medium not busy during transmission")
+	}
+	if !m.Busy(a) {
+		t.Fatal("transmitter does not sense own transmission")
+	}
+	want := sim.Time(0).Add(airtime)
+	if got := m.BusyUntil(b); got != want {
+		t.Fatalf("BusyUntil = %v, want %v", got, want)
+	}
+	s.Run()
+	if m.Busy(b) {
+		t.Fatal("medium busy after transmission ended")
+	}
+}
+
+func TestSequentialTransmissionsNoCollision(t *testing.T) {
+	s, m := newTestMedium()
+	a := m.Attach("a", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	rx := m.Attach("rx", Position{1, 0}, 0, phy.SensitivityWiFiMCS7)
+	a.SetOn(true)
+	rx.SetOn(true)
+	var got []Reception
+	rx.Handler = func(r Reception) { got = append(got, r) }
+	at1 := m.Transmit(a, make([]byte, 100), phy.RateOFDM6)
+	s.After(at1+sim.Microsecond.Duration(), func() {
+		m.Transmit(a, make([]byte, 100), phy.RateOFDM6)
+	})
+	s.Run()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, r := range got {
+		if r.Collided {
+			t.Errorf("sequential frame %d marked collided", i)
+		}
+	}
+}
+
+func TestDistanceFloor(t *testing.T) {
+	p := Position{0, 0}
+	if d := p.Distance(Position{0, 0}); d != 0.1 {
+		t.Fatalf("co-located distance = %v, want floor 0.1", d)
+	}
+	if d := p.Distance(Position{3, 4}); d != 5 {
+		t.Fatalf("3-4-5 distance = %v", d)
+	}
+}
+
+func TestHistoryPruned(t *testing.T) {
+	s, m := newTestMedium()
+	a := m.Attach("a", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	a.SetOn(true)
+	for i := 0; i < 100; i++ {
+		m.Transmit(a, make([]byte, 10), phy.RateOFDM6)
+		s.RunFor(sim.Second.Duration())
+	}
+	if len(m.history) > 4 {
+		t.Fatalf("history holds %d entries after pruning", len(m.history))
+	}
+}

@@ -1,0 +1,160 @@
+package meter
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"wile/internal/sim"
+)
+
+// rampProbe is a probe whose current the test changes explicitly.
+type rampProbe struct{ a float64 }
+
+func (p *rampProbe) Current() float64 { return p.a }
+
+func TestSamplingRateAndCount(t *testing.T) {
+	s := sim.New()
+	p := &rampProbe{a: 0.1}
+	m := New(s, p, DefaultSampleRate)
+	m.Start()
+	s.RunUntil(sim.Time(100) * sim.Millisecond)
+	m.Stop()
+	// 100 ms at 50 kSa/s = 5000 samples (+1 for the t=0 sample).
+	if got := len(m.Samples); got < 5000 || got > 5001 {
+		t.Fatalf("collected %d samples, want ≈5000", got)
+	}
+	// Uniform spacing of 20 µs.
+	for i := 1; i < 100; i++ {
+		if d := m.Samples[i].At - m.Samples[i-1].At; d != 20*sim.Microsecond {
+			t.Fatalf("sample spacing %v", d)
+		}
+	}
+}
+
+func TestChargeIntegrationConstantCurrent(t *testing.T) {
+	s := sim.New()
+	p := &rampProbe{a: 0.05}
+	m := New(s, p, 10_000)
+	m.Start()
+	s.RunUntil(sim.Second)
+	m.Stop()
+	got := m.ChargeC(0, sim.Second)
+	if math.Abs(got-0.05) > 0.05*0.001 {
+		t.Fatalf("charge = %v C, want 0.05", got)
+	}
+	if mean := m.MeanCurrentA(0, sim.Second); math.Abs(mean-0.05) > 1e-6 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if e := m.EnergyJ(0, sim.Second, 3.3); math.Abs(e-0.05*3.3) > 0.001 {
+		t.Fatalf("energy = %v", e)
+	}
+}
+
+func TestChargeIntegrationStepChange(t *testing.T) {
+	s := sim.New()
+	p := &rampProbe{a: 0.01}
+	m := New(s, p, 10_000)
+	m.Start()
+	s.After(500*time.Millisecond, func() { p.a = 0.03 })
+	s.RunUntil(sim.Second)
+	m.Stop()
+	want := 0.01*0.5 + 0.03*0.5
+	got := m.ChargeC(0, sim.Second)
+	if math.Abs(got-want) > want*0.001 {
+		t.Fatalf("charge = %v, want %v", got, want)
+	}
+	// Sub-window integration.
+	first := m.ChargeC(0, 500*sim.Millisecond)
+	if math.Abs(first-0.005) > 0.005*0.01 {
+		t.Fatalf("first half charge = %v", first)
+	}
+}
+
+func TestPeakCurrent(t *testing.T) {
+	s := sim.New()
+	p := &rampProbe{a: 0.001}
+	m := New(s, p, 50_000)
+	m.Start()
+	s.After(10*time.Millisecond, func() { p.a = 0.18 })
+	s.After(11*time.Millisecond, func() { p.a = 0.001 })
+	s.RunUntil(20 * sim.Millisecond)
+	m.Stop()
+	if peak := m.PeakCurrentA(0, 20*sim.Millisecond); peak != 0.18 {
+		t.Fatalf("peak = %v", peak)
+	}
+	if peak := m.PeakCurrentA(12*sim.Millisecond, 20*sim.Millisecond); peak != 0.001 {
+		t.Fatalf("post-burst peak = %v", peak)
+	}
+}
+
+func TestStopActuallyStops(t *testing.T) {
+	s := sim.New()
+	p := &rampProbe{}
+	m := New(s, p, 1000)
+	m.Start()
+	s.RunUntil(10 * sim.Millisecond)
+	m.Stop()
+	n := len(m.Samples)
+	s.RunUntil(sim.Second)
+	if len(m.Samples) != n {
+		t.Fatalf("meter kept sampling after Stop: %d → %d", n, len(m.Samples))
+	}
+	// Idempotent start/stop.
+	m.Start()
+	m.Start()
+	s.RunUntil(sim.Second + 10*sim.Millisecond)
+	m.Stop()
+	m.Stop()
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := sim.New()
+	p := &rampProbe{a: 0.0025}
+	m := New(s, p, 1000)
+	m.Start()
+	s.RunUntil(2 * sim.Millisecond)
+	m.Stop()
+	var sb strings.Builder
+	err := m.WriteCSV(&sb, []Annotation{{At: sim.Millisecond, Label: "Tx"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "# Tx at 0.001000 s\n") {
+		t.Fatalf("missing annotation header:\n%s", out)
+	}
+	if !strings.Contains(out, "time_s,current_mA") {
+		t.Fatal("missing CSV header")
+	}
+	if !strings.Contains(out, "0.000000,2.5000") {
+		t.Fatalf("missing first sample row:\n%s", out)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := sim.New()
+	p := &rampProbe{}
+	m := New(s, p, 10_000)
+	m.Start()
+	s.RunUntil(10 * sim.Millisecond)
+	m.Stop()
+	full := len(m.Samples)
+	down := m.Downsample(10)
+	if len(down) < full/10 || len(down) > full/10+1 {
+		t.Fatalf("downsampled %d → %d", full, len(down))
+	}
+	if same := m.Downsample(1); len(same) != full {
+		t.Fatal("Downsample(1) changed the trace")
+	}
+}
+
+func TestInvalidRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate did not panic")
+		}
+	}()
+	New(sim.New(), &rampProbe{}, 0)
+}

@@ -1,0 +1,80 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ARP (RFC 826) over Ethernet/IPv4 — the last of the "7 higher-layer
+// frames": after DHCP completes, the client ARPs for the AP/gateway MAC
+// before it can address its first data packet.
+
+// ARPOp is the ARP operation.
+type ARPOp uint16
+
+// ARP operations.
+const (
+	ARPRequest ARPOp = 1
+	ARPReply   ARPOp = 2
+)
+
+// ARP is an Ethernet/IPv4 ARP packet.
+type ARP struct {
+	Op ARPOp
+	// SenderHW/SenderIP identify the sender.
+	SenderHW [6]byte
+	SenderIP IP
+	// TargetHW is zero in requests.
+	TargetHW [6]byte
+	TargetIP IP
+}
+
+const arpLen = 28
+
+// Append serializes the packet.
+func (a *ARP) Append(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, 1)      // hardware: Ethernet
+	dst = binary.BigEndian.AppendUint16(dst, 0x0800) // protocol: IPv4
+	dst = append(dst, 6, 4)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(a.Op))
+	dst = append(dst, a.SenderHW[:]...)
+	dst = append(dst, a.SenderIP[:]...)
+	dst = append(dst, a.TargetHW[:]...)
+	return append(dst, a.TargetIP[:]...)
+}
+
+// ParseARP decodes an Ethernet/IPv4 ARP packet.
+func ParseARP(b []byte) (*ARP, error) {
+	if len(b) < arpLen {
+		return nil, fmt.Errorf("netstack: ARP too short: %d bytes", len(b))
+	}
+	if binary.BigEndian.Uint16(b) != 1 || binary.BigEndian.Uint16(b[2:]) != 0x0800 ||
+		b[4] != 6 || b[5] != 4 {
+		return nil, fmt.Errorf("netstack: not an Ethernet/IPv4 ARP packet")
+	}
+	a := &ARP{Op: ARPOp(binary.BigEndian.Uint16(b[6:]))}
+	copy(a.SenderHW[:], b[8:14])
+	copy(a.SenderIP[:], b[14:18])
+	copy(a.TargetHW[:], b[18:24])
+	copy(a.TargetIP[:], b[24:28])
+	return a, nil
+}
+
+// NewARPRequest builds a who-has request.
+func NewARPRequest(senderHW [6]byte, senderIP, targetIP IP) *ARP {
+	return &ARP{Op: ARPRequest, SenderHW: senderHW, SenderIP: senderIP, TargetIP: targetIP}
+}
+
+// Reply builds the matching is-at reply from the responder's bindings.
+func (a *ARP) Reply(hw [6]byte) (*ARP, error) {
+	if a.Op != ARPRequest {
+		return nil, fmt.Errorf("netstack: cannot reply to ARP op %d", a.Op)
+	}
+	return &ARP{
+		Op:       ARPReply,
+		SenderHW: hw,
+		SenderIP: a.TargetIP,
+		TargetHW: a.SenderHW,
+		TargetIP: a.SenderIP,
+	}, nil
+}

@@ -1,0 +1,173 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IP is an IPv4 address. A value type for the same reasons dot11.MAC is.
+type IP [4]byte
+
+// Well-known addresses.
+var (
+	IPZero      = IP{0, 0, 0, 0}
+	IPBroadcast = IP{255, 255, 255, 255}
+)
+
+// String implements fmt.Stringer.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// ParseIP parses dotted-quad notation.
+func ParseIP(s string) (IP, error) {
+	var ip IP
+	var field, idx int
+	seen := false
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if !seen || idx > 3 {
+				return IP{}, fmt.Errorf("netstack: bad IPv4 %q", s)
+			}
+			ip[idx] = byte(field)
+			idx++
+			field, seen = 0, false
+			continue
+		}
+		c := s[i]
+		if c < '0' || c > '9' {
+			return IP{}, fmt.Errorf("netstack: bad IPv4 %q", s)
+		}
+		field = field*10 + int(c-'0')
+		if field > 255 {
+			return IP{}, fmt.Errorf("netstack: bad IPv4 %q: octet overflow", s)
+		}
+		seen = true
+	}
+	if idx != 4 {
+		return IP{}, fmt.Errorf("netstack: bad IPv4 %q: %d octets", s, idx)
+	}
+	return ip, nil
+}
+
+// MustParseIP is ParseIP for constants.
+func MustParseIP(s string) IP {
+	ip, err := ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// IP protocol numbers.
+const (
+	ProtoUDP = 17
+)
+
+// IPv4Header is a fixed 20-byte IPv4 header (no options — nothing in this
+// stack emits them).
+type IPv4Header struct {
+	TTL      uint8
+	Protocol uint8
+	Src, Dst IP
+	// ID is the identification field; the stack increments it per packet.
+	ID uint16
+}
+
+const ipv4HeaderLen = 20
+
+// Checksum computes the RFC 1071 internet checksum over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum>>16 + sum&0xffff
+	}
+	return ^uint16(sum)
+}
+
+// AppendIPv4 serializes h+payload as a complete IPv4 packet.
+func AppendIPv4(dst []byte, h IPv4Header, payload []byte) []byte {
+	start := len(dst)
+	total := ipv4HeaderLen + len(payload)
+	dst = append(dst, 0x45, 0) // version 4, IHL 5, DSCP 0
+	dst = binary.BigEndian.AppendUint16(dst, uint16(total))
+	dst = binary.BigEndian.AppendUint16(dst, h.ID)
+	dst = binary.BigEndian.AppendUint16(dst, 0) // flags+fragment
+	ttl := h.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	dst = append(dst, ttl, h.Protocol, 0, 0) // checksum placeholder
+	dst = append(dst, h.Src[:]...)
+	dst = append(dst, h.Dst[:]...)
+	ck := Checksum(dst[start : start+ipv4HeaderLen])
+	binary.BigEndian.PutUint16(dst[start+10:], ck)
+	return append(dst, payload...)
+}
+
+// ParseIPv4 decodes an IPv4 packet, verifying the header checksum and
+// returning the header and payload (aliasing b).
+func ParseIPv4(b []byte) (IPv4Header, []byte, error) {
+	var h IPv4Header
+	if len(b) < ipv4HeaderLen {
+		return h, nil, fmt.Errorf("netstack: IPv4 packet too short: %d bytes", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return h, nil, fmt.Errorf("netstack: not IPv4 (version %d)", b[0]>>4)
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl < ipv4HeaderLen || len(b) < ihl {
+		return h, nil, fmt.Errorf("netstack: bad IHL %d", ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return h, nil, fmt.Errorf("netstack: IPv4 header checksum mismatch")
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total < ihl || total > len(b) {
+		return h, nil, fmt.Errorf("netstack: IPv4 total length %d out of range", total)
+	}
+	h.ID = binary.BigEndian.Uint16(b[4:])
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	return h, b[ihl:total], nil
+}
+
+// UDPHeader describes one UDP datagram.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+}
+
+const udpHeaderLen = 8
+
+// AppendUDP serializes a UDP datagram (checksum 0 = unused, valid for
+// IPv4, which keeps the encoder independent of the pseudo-header).
+func AppendUDP(dst []byte, h UDPHeader, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, h.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, h.DstPort)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(udpHeaderLen+len(payload)))
+	dst = binary.BigEndian.AppendUint16(dst, 0)
+	return append(dst, payload...)
+}
+
+// ParseUDP decodes a UDP datagram.
+func ParseUDP(b []byte) (UDPHeader, []byte, error) {
+	var h UDPHeader
+	if len(b) < udpHeaderLen {
+		return h, nil, fmt.Errorf("netstack: UDP datagram too short: %d bytes", len(b))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b)
+	h.DstPort = binary.BigEndian.Uint16(b[2:])
+	length := int(binary.BigEndian.Uint16(b[4:]))
+	if length < udpHeaderLen || length > len(b) {
+		return h, nil, fmt.Errorf("netstack: UDP length %d out of range", length)
+	}
+	return h, b[udpHeaderLen:length], nil
+}

@@ -1,0 +1,54 @@
+// Package netstack implements the minimal above-MAC stack a WiFi client
+// must speak before it can deliver one application byte: LLC/SNAP
+// encapsulation, ARP, IPv4, UDP and DHCP.
+//
+// The paper's §3.1 counts the cost precisely: "in addition to these 20
+// MAC-layer frames, 7 higher-layer frames including DHCP and ARP have to be
+// transmitted before a client device can transmit to the AP". Those seven
+// frames are built and parsed by this package, so the Figure 3a DHCP/ARP
+// phase in the simulation carries real bytes with real lengths.
+package netstack
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType identifies the payload protocol in a SNAP header.
+type EtherType uint16
+
+// EtherTypes used by the stack.
+const (
+	EtherTypeIPv4  EtherType = 0x0800
+	EtherTypeARP   EtherType = 0x0806
+	EtherTypeEAPOL EtherType = 0x888e
+)
+
+// snapHeader is the 8-byte LLC/SNAP prefix 802.11 data frames use to carry
+// Ethernet protocols: DSAP=AA SSAP=AA ctrl=03, OUI 00-00-00, ethertype.
+var snapPrefix = [6]byte{0xaa, 0xaa, 0x03, 0x00, 0x00, 0x00}
+
+// SNAPLen is the encapsulation overhead per MSDU.
+const SNAPLen = 8
+
+// WrapSNAP prepends the LLC/SNAP header for et onto payload.
+func WrapSNAP(et EtherType, payload []byte) []byte {
+	out := make([]byte, 0, SNAPLen+len(payload))
+	out = append(out, snapPrefix[:]...)
+	out = binary.BigEndian.AppendUint16(out, uint16(et))
+	return append(out, payload...)
+}
+
+// UnwrapSNAP validates and strips the LLC/SNAP header, returning the
+// ethertype and inner payload (aliasing msdu).
+func UnwrapSNAP(msdu []byte) (EtherType, []byte, error) {
+	if len(msdu) < SNAPLen {
+		return 0, nil, fmt.Errorf("netstack: MSDU too short for LLC/SNAP: %d bytes", len(msdu))
+	}
+	for i, b := range snapPrefix {
+		if msdu[i] != b {
+			return 0, nil, fmt.Errorf("netstack: not an LLC/SNAP header (byte %d = %#x)", i, msdu[i])
+		}
+	}
+	return EtherType(binary.BigEndian.Uint16(msdu[6:8])), msdu[8:], nil
+}

@@ -1,0 +1,328 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSNAPRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 4}
+	msdu := WrapSNAP(EtherTypeIPv4, payload)
+	if len(msdu) != SNAPLen+4 {
+		t.Fatalf("MSDU length %d", len(msdu))
+	}
+	et, got, err := UnwrapSNAP(msdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et != EtherTypeIPv4 || !bytes.Equal(got, payload) {
+		t.Fatalf("et=%04x payload=%x", et, got)
+	}
+}
+
+func TestSNAPErrors(t *testing.T) {
+	if _, _, err := UnwrapSNAP([]byte{0xaa, 0xaa}); err == nil {
+		t.Error("short MSDU accepted")
+	}
+	bad := WrapSNAP(EtherTypeARP, nil)
+	bad[0] = 0x42
+	if _, _, err := UnwrapSNAP(bad); err == nil {
+		t.Error("non-SNAP header accepted")
+	}
+}
+
+func TestPropertySNAPRoundTrip(t *testing.T) {
+	f := func(et uint16, payload []byte) bool {
+		gotET, got, err := UnwrapSNAP(WrapSNAP(EtherType(et), payload))
+		return err == nil && gotET == EtherType(et) && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPParseFormat(t *testing.T) {
+	ip, err := ParseIP("192.168.86.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != (IP{192, 168, 86, 1}) || ip.String() != "192.168.86.1" {
+		t.Fatalf("ip = %v", ip)
+	}
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "1.2.3.", ".1.2.3"} {
+		if _, err := ParseIP(s); err == nil {
+			t.Errorf("ParseIP(%q) succeeded", s)
+		}
+	}
+}
+
+func TestChecksumRFC1071(t *testing.T) {
+	// Classic example from RFC 1071: the one's-complement sum of this
+	// sequence is 0xddf2, so the checksum (its complement) is 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Fatalf("Checksum = %04x, want 220d", got)
+	}
+	// A buffer with its checksum appended sums to zero — the receiver-side
+	// validation identity ParseIPv4 relies on.
+	withCk := append(append([]byte(nil), b...), 0x22, 0x0d)
+	if got := Checksum(withCk); got != 0 {
+		t.Fatalf("Checksum over data+checksum = %04x, want 0", got)
+	}
+	// Odd length handled.
+	_ = Checksum([]byte{1, 2, 3})
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	payload := []byte("hello world")
+	h := IPv4Header{Protocol: ProtoUDP, Src: IP{10, 0, 0, 1}, Dst: IP{10, 0, 0, 2}, ID: 42}
+	pkt := AppendIPv4(nil, h, payload)
+	got, body, err := ParseIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != h.Src || got.Dst != h.Dst || got.Protocol != ProtoUDP || got.ID != 42 {
+		t.Fatalf("header = %+v", got)
+	}
+	if got.TTL != 64 {
+		t.Fatalf("default TTL = %d", got.TTL)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Fatalf("payload = %q", body)
+	}
+}
+
+func TestIPv4ChecksumValidated(t *testing.T) {
+	pkt := AppendIPv4(nil, IPv4Header{Protocol: ProtoUDP}, []byte("x"))
+	pkt[12] ^= 1 // corrupt src address
+	if _, _, err := ParseIPv4(pkt); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestIPv4ParseErrors(t *testing.T) {
+	if _, _, err := ParseIPv4(make([]byte, 10)); err == nil {
+		t.Error("short packet accepted")
+	}
+	pkt := AppendIPv4(nil, IPv4Header{Protocol: ProtoUDP}, []byte("x"))
+	bad := append([]byte(nil), pkt...)
+	bad[0] = 0x65 // version 6
+	if _, _, err := ParseIPv4(bad); err == nil {
+		t.Error("IPv6 version accepted")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	payload := []byte{9, 8, 7}
+	dg := AppendUDP(nil, UDPHeader{SrcPort: 68, DstPort: 67}, payload)
+	h, body, err := ParseUDP(dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SrcPort != 68 || h.DstPort != 67 || !bytes.Equal(body, payload) {
+		t.Fatalf("h=%+v body=%x", h, body)
+	}
+}
+
+func TestPropertyIPv4UDPStack(t *testing.T) {
+	f := func(payload []byte, src, dst [4]byte, sp, dp uint16) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		dg := AppendUDP(nil, UDPHeader{SrcPort: sp, DstPort: dp}, payload)
+		pkt := AppendIPv4(nil, IPv4Header{Protocol: ProtoUDP, Src: src, Dst: dst}, dg)
+		h, body, err := ParseIPv4(pkt)
+		if err != nil || h.Src != IP(src) || h.Dst != IP(dst) {
+			return false
+		}
+		uh, up, err := ParseUDP(body)
+		return err == nil && uh.SrcPort == sp && uh.DstPort == dp && bytes.Equal(up, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	req := NewARPRequest([6]byte{1, 2, 3, 4, 5, 6}, IP{10, 0, 0, 5}, IP{10, 0, 0, 1})
+	got, err := ParseARP(req.Append(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != ARPRequest || got.SenderIP != (IP{10, 0, 0, 5}) || got.TargetIP != (IP{10, 0, 0, 1}) {
+		t.Fatalf("ARP = %+v", got)
+	}
+}
+
+func TestARPReply(t *testing.T) {
+	req := NewARPRequest([6]byte{1, 2, 3, 4, 5, 6}, IP{10, 0, 0, 5}, IP{10, 0, 0, 1})
+	apHW := [6]byte{0xaa, 0xbb, 0xcc, 0, 0, 1}
+	rep, err := req.Reply(apHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Op != ARPReply || rep.SenderHW != apHW || rep.SenderIP != (IP{10, 0, 0, 1}) ||
+		rep.TargetHW != req.SenderHW || rep.TargetIP != (IP{10, 0, 0, 5}) {
+		t.Fatalf("reply = %+v", rep)
+	}
+	// Replying to a reply is an error.
+	if _, err := rep.Reply(apHW); err == nil {
+		t.Fatal("replied to a reply")
+	}
+}
+
+func TestARPParseErrors(t *testing.T) {
+	if _, err := ParseARP(make([]byte, 27)); err == nil {
+		t.Error("short ARP accepted")
+	}
+	req := NewARPRequest([6]byte{1}, IPZero, IPZero).Append(nil)
+	req[0] = 9 // bad hardware type
+	if _, err := ParseARP(req); err == nil {
+		t.Error("bad hardware type accepted")
+	}
+}
+
+func TestDHCPRoundTrip(t *testing.T) {
+	d := NewDiscover(0xdeadbeef, [6]byte{1, 2, 3, 4, 5, 6})
+	got, err := ParseDHCP(d.Append(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.XID != 0xdeadbeef || got.Op != BootRequest || got.CHAddr != d.CHAddr {
+		t.Fatalf("DHCP = %+v", got)
+	}
+	if tp, ok := got.Type(); !ok || tp != DHCPDiscover {
+		t.Fatalf("type = %v, %v", tp, ok)
+	}
+	if got.Flags&0x8000 == 0 {
+		t.Fatal("broadcast flag lost")
+	}
+}
+
+func TestDHCPParseErrors(t *testing.T) {
+	if _, err := ParseDHCP(make([]byte, 100)); err == nil {
+		t.Error("short DHCP accepted")
+	}
+	d := NewDiscover(1, [6]byte{}).Append(nil)
+	bad := append([]byte(nil), d...)
+	bad[236] = 0 // break magic
+	if _, err := ParseDHCP(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated option.
+	trunc := append([]byte(nil), d[:dhcpFixedLen]...)
+	trunc = append(trunc, OptMessageType, 5, 1)
+	if _, err := ParseDHCP(trunc); err == nil {
+		t.Error("truncated option accepted")
+	}
+}
+
+func TestDHCPFullExchange(t *testing.T) {
+	// The canonical 4-message exchange: this is the protocol content of
+	// Figure 3a's "DHCP/ARP" phase.
+	server := NewDHCPServer(IP{192, 168, 86, 1})
+	client := NewDHCPClient(0x1234, [6]byte{0xde, 0xad, 0xbe, 0xef, 0, 1})
+
+	var messages int
+	msg := client.Discover()
+	messages++
+	for msg != nil {
+		reply := server.Handle(msg)
+		if reply == nil {
+			break
+		}
+		messages++
+		next, err := client.Handle(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg = next
+		if msg != nil {
+			messages++
+		}
+	}
+	if !client.Done() {
+		t.Fatal("client never bound")
+	}
+	if messages != 4 {
+		t.Fatalf("exchange took %d messages, want 4 (DISCOVER/OFFER/REQUEST/ACK)", messages)
+	}
+	if client.Assigned[3] < 100 || client.Assigned[0] != 192 {
+		t.Fatalf("assigned %v", client.Assigned)
+	}
+	if client.Router != (IP{192, 168, 86, 1}) {
+		t.Fatalf("router %v", client.Router)
+	}
+}
+
+func TestDHCPServerStableLease(t *testing.T) {
+	server := NewDHCPServer(IP{10, 0, 0, 1})
+	hw := [6]byte{9, 9, 9, 9, 9, 9}
+	offer1 := server.Handle(NewDiscover(1, hw))
+	offer2 := server.Handle(NewDiscover(2, hw))
+	if offer1.YIAddr != offer2.YIAddr {
+		t.Fatalf("same client offered different addresses: %v vs %v", offer1.YIAddr, offer2.YIAddr)
+	}
+	other := server.Handle(NewDiscover(3, [6]byte{8, 8, 8, 8, 8, 8}))
+	if other.YIAddr == offer1.YIAddr {
+		t.Fatal("two clients share an address")
+	}
+}
+
+func TestDHCPServerNAKsWrongRequest(t *testing.T) {
+	server := NewDHCPServer(IP{10, 0, 0, 1})
+	hw := [6]byte{1}
+	offer := server.Handle(NewDiscover(1, hw))
+	req := NewRequest(offer)
+	// Ask for a different address than offered.
+	for i, o := range req.Options {
+		if o.Code == OptRequestedIP {
+			req.Options[i].Data = []byte{10, 0, 0, 250}
+		}
+	}
+	resp := server.Handle(req)
+	if tp, _ := resp.Type(); tp != DHCPNak {
+		t.Fatalf("server replied %v, want NAK", tp)
+	}
+	// And the client surfaces the NAK as an error.
+	client := NewDHCPClient(1, hw)
+	client.Discover()
+	if _, err := client.Handle(offer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Handle(resp); err == nil {
+		t.Fatal("client swallowed NAK")
+	}
+}
+
+func TestDHCPClientIgnoresForeignReplies(t *testing.T) {
+	client := NewDHCPClient(0x42, [6]byte{1})
+	client.Discover()
+	foreign := &DHCP{Op: BootReply, XID: 0x43, CHAddr: [6]byte{1},
+		Options: []DHCPOption{typeOption(DHCPOffer)}}
+	if next, err := client.Handle(foreign); err != nil || next != nil {
+		t.Fatalf("foreign XID not ignored: %v, %v", next, err)
+	}
+	wrongHW := &DHCP{Op: BootReply, XID: 0x42, CHAddr: [6]byte{2},
+		Options: []DHCPOption{typeOption(DHCPOffer)}}
+	if next, err := client.Handle(wrongHW); err != nil || next != nil {
+		t.Fatalf("foreign chaddr not ignored: %v, %v", next, err)
+	}
+}
+
+func TestDHCPRelease(t *testing.T) {
+	server := NewDHCPServer(IP{10, 0, 0, 1})
+	hw := [6]byte{5}
+	first := server.Handle(NewDiscover(1, hw)).YIAddr
+	rel := &DHCP{Op: BootRequest, XID: 2, CHAddr: hw, Options: []DHCPOption{typeOption(DHCPRelease)}}
+	if resp := server.Handle(rel); resp != nil {
+		t.Fatal("RELEASE got a reply")
+	}
+	// After release the pool moves on; a new discover gets a fresh lease
+	// (implementation assigns a new address since the binding is gone).
+	second := server.Handle(NewDiscover(3, hw)).YIAddr
+	if first == second {
+		t.Fatal("lease not released")
+	}
+}

@@ -1,0 +1,195 @@
+// Package phy models the physical-layer facts Wi-LE depends on: exact frame
+// airtimes for 802.11b/g/n and Bluetooth Low Energy, radio-power unit
+// conversions, and a simple propagation model.
+//
+// The paper's central observation lives here: at the physical layer WiFi
+// spends 10–100 nJ per bit (depending on bitrate) while BLE spends
+// 275–300 nJ per bit, because OFDM with high-order modulation moves many
+// more bits per microsecond of radio-on time than BLE's 1 Mb/s GFSK.
+// Everything downstream (the Table 1 energies, the Figure 4 curves) is an
+// integral of current over the airtimes computed in this package.
+package phy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Modulation identifies the PHY family a rate belongs to.
+type Modulation uint8
+
+const (
+	// ModDSSS is 802.11b direct-sequence spread spectrum (1–11 Mb/s).
+	ModDSSS Modulation = iota
+	// ModOFDM is 802.11g ERP-OFDM (6–54 Mb/s).
+	ModOFDM
+	// ModHT is 802.11n high throughput, single spatial stream, 20 MHz.
+	ModHT
+	// ModGFSK is Bluetooth Low Energy 1 Mb/s GFSK.
+	ModGFSK
+)
+
+// String implements fmt.Stringer.
+func (m Modulation) String() string {
+	switch m {
+	case ModDSSS:
+		return "DSSS"
+	case ModOFDM:
+		return "OFDM"
+	case ModHT:
+		return "HT"
+	case ModGFSK:
+		return "GFSK"
+	}
+	return fmt.Sprintf("Modulation(%d)", uint8(m))
+}
+
+// Rate describes one PHY rate.
+type Rate struct {
+	// Name is the conventional label, e.g. "MCS7-SGI".
+	Name string
+	// Mod is the PHY family.
+	Mod Modulation
+	// KbPerSec is the nominal data rate in kilobits per second. Kilobits
+	// (not megabits) keep 5.5 and 72.2 Mb/s exact in integer arithmetic.
+	KbPerSec int
+	// BitsPerSymbol is N_DBPS for OFDM/HT rates, 0 otherwise.
+	BitsPerSymbol int
+	// ShortGI marks 400 ns guard-interval HT rates (3.6 µs symbols).
+	ShortGI bool
+	// ShortPreamble marks DSSS rates transmitted with the short PLCP
+	// preamble (96 µs instead of 192 µs).
+	ShortPreamble bool
+}
+
+// Mbps reports the nominal rate in megabits per second.
+func (r Rate) Mbps() float64 { return float64(r.KbPerSec) / 1000 }
+
+// String implements fmt.Stringer.
+func (r Rate) String() string { return fmt.Sprintf("%s (%.1f Mb/s)", r.Name, r.Mbps()) }
+
+// The 802.11 rates used by the experiments. DSSS rates use the long
+// preamble unless the name says otherwise; the beacon frames Wi-LE injects
+// default to RateHTMCS7SGI, the 72 Mb/s rate the paper's §5.4 measurement
+// uses.
+var (
+	RateDSSS1  = Rate{Name: "DSSS-1", Mod: ModDSSS, KbPerSec: 1000}
+	RateDSSS2  = Rate{Name: "DSSS-2", Mod: ModDSSS, KbPerSec: 2000}
+	RateDSSS5  = Rate{Name: "DSSS-5.5", Mod: ModDSSS, KbPerSec: 5500, ShortPreamble: true}
+	RateDSSS11 = Rate{Name: "DSSS-11", Mod: ModDSSS, KbPerSec: 11000, ShortPreamble: true}
+
+	RateOFDM6  = Rate{Name: "OFDM-6", Mod: ModOFDM, KbPerSec: 6000, BitsPerSymbol: 24}
+	RateOFDM9  = Rate{Name: "OFDM-9", Mod: ModOFDM, KbPerSec: 9000, BitsPerSymbol: 36}
+	RateOFDM12 = Rate{Name: "OFDM-12", Mod: ModOFDM, KbPerSec: 12000, BitsPerSymbol: 48}
+	RateOFDM18 = Rate{Name: "OFDM-18", Mod: ModOFDM, KbPerSec: 18000, BitsPerSymbol: 72}
+	RateOFDM24 = Rate{Name: "OFDM-24", Mod: ModOFDM, KbPerSec: 24000, BitsPerSymbol: 96}
+	RateOFDM36 = Rate{Name: "OFDM-36", Mod: ModOFDM, KbPerSec: 36000, BitsPerSymbol: 144}
+	RateOFDM48 = Rate{Name: "OFDM-48", Mod: ModOFDM, KbPerSec: 48000, BitsPerSymbol: 192}
+	RateOFDM54 = Rate{Name: "OFDM-54", Mod: ModOFDM, KbPerSec: 54000, BitsPerSymbol: 216}
+
+	RateHTMCS0    = Rate{Name: "MCS0", Mod: ModHT, KbPerSec: 6500, BitsPerSymbol: 26}
+	RateHTMCS1    = Rate{Name: "MCS1", Mod: ModHT, KbPerSec: 13000, BitsPerSymbol: 52}
+	RateHTMCS2    = Rate{Name: "MCS2", Mod: ModHT, KbPerSec: 19500, BitsPerSymbol: 78}
+	RateHTMCS3    = Rate{Name: "MCS3", Mod: ModHT, KbPerSec: 26000, BitsPerSymbol: 104}
+	RateHTMCS4    = Rate{Name: "MCS4", Mod: ModHT, KbPerSec: 39000, BitsPerSymbol: 156}
+	RateHTMCS5    = Rate{Name: "MCS5", Mod: ModHT, KbPerSec: 52000, BitsPerSymbol: 208}
+	RateHTMCS6    = Rate{Name: "MCS6", Mod: ModHT, KbPerSec: 58500, BitsPerSymbol: 234}
+	RateHTMCS7    = Rate{Name: "MCS7", Mod: ModHT, KbPerSec: 65000, BitsPerSymbol: 260}
+	RateHTMCS7SGI = Rate{Name: "MCS7-SGI", Mod: ModHT, KbPerSec: 72200, BitsPerSymbol: 260, ShortGI: true}
+
+	// RateBLE1M is BLE's uncoded 1 Mb/s GFSK PHY (the only PHY in BLE 4.x,
+	// which is what the CC2541 baseline speaks).
+	RateBLE1M = Rate{Name: "BLE-1M", Mod: ModGFSK, KbPerSec: 1000}
+)
+
+// WiFiRates lists every 802.11 rate above in ascending nominal rate; the
+// bitrate ablation sweeps this slice.
+var WiFiRates = []Rate{
+	RateDSSS1, RateDSSS2, RateDSSS5, RateDSSS11,
+	RateOFDM6, RateOFDM9, RateOFDM12, RateOFDM18,
+	RateOFDM24, RateOFDM36, RateOFDM48, RateOFDM54,
+	RateHTMCS0, RateHTMCS1, RateHTMCS2, RateHTMCS3,
+	RateHTMCS4, RateHTMCS5, RateHTMCS6, RateHTMCS7, RateHTMCS7SGI,
+}
+
+// PHY timing constants (IEEE 802.11-2016 clauses 16, 18, 19; Bluetooth Core
+// 4.2 Vol 6 Part B).
+const (
+	// DSSS (clause 16): long preamble 144 µs + PLCP header 48 µs; short
+	// preamble halves the preamble and doubles the header rate.
+	dsssLongPreamble  = 192 * time.Microsecond
+	dsssShortPreamble = 96 * time.Microsecond
+
+	// OFDM (clause 18): 8 µs STF + 8 µs LTF + 4 µs SIGNAL.
+	ofdmPreamble = 20 * time.Microsecond
+	// ERP-OFDM in 2.4 GHz requires a 6 µs signal extension (clause 19.3.2.4).
+	erpSignalExtension = 6 * time.Microsecond
+	ofdmSymbol         = 4 * time.Microsecond
+
+	// HT mixed format, one spatial stream (clause 19.3.9):
+	// L-STF 8 + L-LTF 8 + L-SIG 4 + HT-SIG 8 + HT-STF 4 + 1×HT-LTF 4.
+	htPreamble  = 36 * time.Microsecond
+	htSymbolLGI = 4 * time.Microsecond
+	htSymbolSGI = 3600 * time.Nanosecond
+
+	// serviceBits+tailBits pad every OFDM/HT PSDU (16-bit SERVICE, 6 tail).
+	serviceBits = 16
+	tailBits    = 6
+
+	// BLE link-layer framing on the 1 Mb/s PHY: 1 byte preamble,
+	// 4 bytes access address, 2 bytes PDU header, payload, 3 bytes CRC —
+	// all at 1 µs per bit.
+	blePreambleBytes      = 1
+	bleAccessAddressBytes = 4
+	bleHeaderBytes        = 2
+	bleCRCBytes           = 3
+)
+
+// FrameAirtime reports how long a PSDU of length octets occupies the radio
+// at rate r, including the PLCP preamble/header. This is the time the
+// transmit amplifier is on — the quantity the paper's energy-per-packet
+// integrals multiply by the transmit power.
+func FrameAirtime(r Rate, octets int) time.Duration {
+	if octets < 0 {
+		panic(fmt.Sprintf("phy: negative frame length %d", octets))
+	}
+	bits := 8 * octets
+	switch r.Mod {
+	case ModDSSS:
+		pre := dsssLongPreamble
+		if r.ShortPreamble {
+			pre = dsssShortPreamble
+		}
+		// Payload time = bits / rate, exact in ns: kb/s == bits/ms.
+		payload := time.Duration(bits) * time.Millisecond / time.Duration(r.KbPerSec)
+		return pre + payload
+	case ModOFDM:
+		nsym := ceilDiv(serviceBits+bits+tailBits, r.BitsPerSymbol)
+		return ofdmPreamble + time.Duration(nsym)*ofdmSymbol + erpSignalExtension
+	case ModHT:
+		nsym := ceilDiv(serviceBits+bits+tailBits, r.BitsPerSymbol)
+		sym := htSymbolLGI
+		if r.ShortGI {
+			sym = htSymbolSGI
+		}
+		return htPreamble + time.Duration(nsym)*sym
+	case ModGFSK:
+		total := blePreambleBytes + bleAccessAddressBytes + bleHeaderBytes + octets + bleCRCBytes
+		return time.Duration(8*total) * time.Microsecond
+	}
+	panic(fmt.Sprintf("phy: unknown modulation %v", r.Mod))
+}
+
+// EnergyPerBit reports the physical-layer transmit energy per payload bit in
+// joules, for a transmitter drawing txPowerW while the amplifier is on.
+// This reproduces the paper's §1 comparison (WiFi 10–100 nJ/bit vs BLE
+// 275–300 nJ/bit): the preamble and framing are amortized over the payload.
+func EnergyPerBit(r Rate, octets int, txPowerW float64) float64 {
+	if octets <= 0 {
+		panic("phy: EnergyPerBit needs a positive payload")
+	}
+	t := FrameAirtime(r, octets).Seconds()
+	return t * txPowerW / float64(8*octets)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,94 @@
+package sim
+
+// Deterministic pseudo-random numbers for simulations.
+//
+// Experiments must be repeatable run-to-run and machine-to-machine, so the
+// kernel carries its own small PRNG (xoshiro256**, the same generator family
+// used by math/rand/v2) rather than depending on global seeding behaviour.
+
+import "math"
+
+// Rand is a seeded xoshiro256** generator. The zero value is NOT valid; use
+// NewRand.
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator seeded from a single word using SplitMix64,
+// the recommended seeding procedure for xoshiro.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	// SplitMix64 to fill the state; guards against the all-zero state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// simple rejection keeps the distribution exactly uniform.
+	max := ^uint64(0) - ^uint64(0)%uint64(n)
+	for {
+		v := r.Uint64()
+		if v < max {
+			return int(v % uint64(n))
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the polar Box-Muller method.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Jitter returns a multiplicative clock-jitter factor (1 ± ppm/1e6 * n)
+// where n is standard-normal. Used by the §6 multi-sensor study: real IoT
+// crystals drift tens of ppm, which is what de-synchronizes co-periodic
+// transmitters. Non-positive ppm means a perfect clock (factor 1).
+func (r *Rand) Jitter(ppm float64) float64 {
+	if ppm <= 0 {
+		return 1
+	}
+	return 1 + ppm/1e6*r.NormFloat64()
+}

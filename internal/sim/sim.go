@@ -1,0 +1,197 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every Wi-LE experiment runs on top of this kernel: the radio medium, the
+// MAC state machines, device power models and the measurement instrument all
+// schedule work on a single virtual clock. Runs are fully deterministic for
+// a given seed, which keeps every experiment in EXPERIMENTS.md repeatable.
+//
+// The design is the classic event-heap simulator: events carry an absolute
+// virtual timestamp, the scheduler pops them in time order (FIFO among
+// equal timestamps) and advances the clock to each event's time. There is no
+// wall-clock coupling anywhere; simulating a 10-minute sleep costs one heap
+// operation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp, measured in nanoseconds from the start of the
+// simulation. It intentionally mirrors time.Duration semantics (signed 64-bit
+// nanoseconds) so arithmetic with time.Duration reads naturally.
+type Time int64
+
+// Common conversions.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts t (interpreted as a span) to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the span t-u as a time.Duration.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// String formats the timestamp as seconds with microsecond precision, the
+// resolution used throughout the paper's figures.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// FromDuration converts a span to a virtual timestamp measured from zero.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+// Event is a scheduled callback.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: preserves scheduling order at equal times
+	fn     func()
+	idx    int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancelled reports whether the event was cancelled before it fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// At reports the virtual time the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler owns the virtual clock and the pending event set.
+// The zero value is ready to use.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Stopped is set by Stop; Run drains no further events once set.
+	stopped bool
+	fired   uint64
+}
+
+// New returns a scheduler with the clock at zero.
+func New() *Scheduler { return &Scheduler{} }
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending reports the number of events waiting to fire.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Fired reports how many events have been executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in the
+// past (at < Now) panics: it is always a logic error in a protocol model,
+// and silently reordering time makes power integrals wrong.
+func (s *Scheduler) At(at Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op, so callers can cancel defensively.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.cancel || e.idx < 0 {
+		if e != nil {
+			e.cancel = true
+		}
+		return
+	}
+	e.cancel = true
+	heap.Remove(&s.events, e.idx)
+	e.idx = -1
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports false when no events remain.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 || s.stopped {
+		return false
+	}
+	e := heap.Pop(&s.events).(*Event)
+	s.now = e.at
+	s.fired++
+	e.fn()
+	return true
+}
+
+// Run fires events until none remain or Stop is called.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline and then advances the
+// clock to the deadline. Events scheduled beyond the deadline remain pending.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.events) > 0 && !s.stopped && s.events[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor is RunUntil(Now+d).
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Stop halts Run/RunUntil after the current event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Resume clears a previous Stop.
+func (s *Scheduler) Resume() { s.stopped = false }

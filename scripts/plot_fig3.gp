@@ -1,0 +1,16 @@
+# Redraw Figure 3 from the exported traces:
+#   go run ./cmd/wile-trace fig3a > results/fig3a.csv
+#   go run ./cmd/wile-trace fig3b > results/fig3b.csv
+#   gnuplot -e "trace='results/fig3a.csv'" scripts/plot_fig3.gp > fig3a.svg
+if (!exists("trace")) trace = 'results/fig3a.csv'
+
+set terminal svg size 900,360 font 'Helvetica,13'
+set datafile separator ','
+set xlabel 'Time (Second)'
+set ylabel 'Current Draw (mA)'
+set xrange [0:2]
+set yrange [0:250]
+set grid back lw 0.5
+set key off
+
+plot trace using 1:2 with lines lw 1 lc rgb '#2060a8'

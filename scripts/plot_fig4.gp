@@ -1,0 +1,18 @@
+# Redraw Figure 4 from the exported sweep:
+#   go run ./cmd/wile-lab -out results fig4
+#   gnuplot scripts/plot_fig4.gp > fig4.svg
+set terminal svg size 700,480 font 'Helvetica,13'
+set datafile separator ','
+set xlabel 'Transmission Interval (Minute)'
+set ylabel 'Power (mW)'
+set logscale y
+set format y "10^{%L}"
+set xrange [0:5]
+set grid back lw 0.5
+set key top right
+
+# Columns: 1 interval_s, 2 Wi-LE_mW, 3 BLE_mW, 4 WiFi-DC_mW, 5 WiFi-PS_mW.
+plot 'results/fig4.csv' using ($1/60):5 with lines lw 2 title 'WiFi-PS', \
+     ''                 using ($1/60):4 with lines lw 2 title 'WiFi-DC', \
+     ''                 using ($1/60):2 with lines lw 2 title 'WiLE', \
+     ''                 using ($1/60):3 with lines lw 2 title 'BLE'

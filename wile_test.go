@@ -1,0 +1,112 @@
+package wile_test
+
+import (
+	"testing"
+	"time"
+
+	"wile"
+	"wile/internal/dot11"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow end to
+// end through the public surface only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sched := wile.NewScheduler()
+	med := wile.NewMedium(sched, wile.Channel(6))
+
+	sensor := wile.NewSensor(sched, med, wile.SensorConfig{
+		DeviceID: 0x1001,
+		Period:   10 * time.Second,
+	})
+	temp := 20.0
+	sensor.Sample = func() []wile.Reading {
+		temp += 0.5
+		return []wile.Reading{wile.Temperature(temp), wile.Battery(2950)}
+	}
+
+	scanner := wile.NewScanner(sched, med, wile.ScannerConfig{Position: wile.Position{X: 2}})
+	var got []*wile.Message
+	scanner.OnMessage = func(m *wile.Message, meta wile.Meta) { got = append(got, m) }
+	scanner.Start()
+
+	sensor.Run()
+	sched.RunFor(35 * time.Second)
+	sensor.Stop()
+
+	if len(got) != 3 {
+		t.Fatalf("received %d messages, want 3", len(got))
+	}
+	if got[2].Readings[0].Celsius() != 21.5 {
+		t.Fatalf("last temperature %v", got[2].Readings[0].Celsius())
+	}
+	if got[0].Readings[1].Value != 2950 {
+		t.Fatalf("battery %v", got[0].Readings[1].Value)
+	}
+	rec, ok := scanner.Device(0x1001)
+	if !ok || rec.Messages != 3 || rec.Lost != 0 {
+		t.Fatalf("device record: %+v", rec)
+	}
+}
+
+func TestPublicAPIEncrypted(t *testing.T) {
+	sched := wile.NewScheduler()
+	med := wile.NewMedium(sched, wile.Channel(11))
+	key, err := wile.NewKey([]byte("sixteen byte key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensor := wile.NewSensor(sched, med, wile.SensorConfig{DeviceID: 9, Key: key, SkipBoot: true})
+	scanner := wile.NewScanner(sched, med, wile.ScannerConfig{DefaultKey: key, Position: wile.Position{X: 1}})
+	scanner.Start()
+	var got *wile.Message
+	scanner.OnMessage = func(m *wile.Message, meta wile.Meta) { got = m }
+	sensor.TransmitOnce([]wile.Reading{wile.Counter(42)}, nil)
+	sched.RunFor(time.Second)
+	if got == nil || got.Readings[0].Value != 42 {
+		t.Fatalf("encrypted quickstart: %+v", got)
+	}
+}
+
+func TestPublicAPIBeaconBytes(t *testing.T) {
+	msg := &wile.Message{DeviceID: 0x42, Seq: 1, Readings: []wile.Reading{wile.Temperature(17)}}
+	beacon, err := wile.BuildBeacon(0x42, 6, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := dot11.Marshal(beacon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A minimal Wi-LE beacon is well under 100 bytes on the air.
+	if len(raw) < 50 || len(raw) > 120 {
+		t.Fatalf("beacon is %d bytes", len(raw))
+	}
+	back, err := dot11.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := wile.DecodeBeacon(back.(*dot11.Beacon), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.DeviceID != 0x42 || decoded.Readings[0].Celsius() != 17 {
+		t.Fatalf("decoded: %+v", decoded)
+	}
+}
+
+func TestPublicAPITwoWay(t *testing.T) {
+	sched := wile.NewScheduler()
+	med := wile.NewMedium(sched, wile.Channel(6))
+	sensor := wile.NewSensor(sched, med, wile.SensorConfig{
+		DeviceID: 7, RxWindow: 20 * time.Millisecond, SkipBoot: true,
+	})
+	base := wile.NewResponder(sched, med, "base", wile.Position{X: 2}, 6)
+	base.Queue(7, []wile.Reading{wile.RawReading([]byte("ack"))})
+	var down *wile.Message
+	sensor.OnDownlink = func(m *wile.Message) { down = m }
+	sensor.TransmitOnce([]wile.Reading{wile.Counter(1)}, nil)
+	sched.RunFor(time.Second)
+	if down == nil || string(down.Readings[0].Raw) != "ack" {
+		t.Fatalf("two-way through public API: %+v", down)
+	}
+}
