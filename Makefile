@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test bench lab examples fuzz cover clean
+.PHONY: all build test lint race bench lab examples fuzz cover clean
 
-all: build test
+all: build test lint race
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,15 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Static analysis: go vet plus the project's own wile-vet suite (simclock,
+# unitsafety, invariantpanic, noretain, errdrop).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/wile-vet ./...
+
+race:
+	$(GO) test -race ./...
 
 # The full evaluation: Table 1, Figures 3a/3b/4, §3.1 claims, ablations.
 lab:

@@ -19,6 +19,7 @@ import (
 	"wile"
 	"wile/internal/dot11"
 	"wile/internal/pcap"
+	"wile/internal/phy"
 )
 
 func main() {
@@ -43,6 +44,10 @@ func main() {
 
 func run(n int, deviceID uint32, period time.Duration, temp, step float64,
 	channel int, pcapPath string, radiotap, hexDump bool, keyHex string) error {
+	ch, err := phy.NewWiFi24Channel(channel)
+	if err != nil {
+		return fmt.Errorf("parsing -channel: %w", err)
+	}
 	var key *wile.Key
 	if keyHex != "" {
 		secret, err := hex.DecodeString(keyHex)
@@ -96,8 +101,7 @@ func run(n int, deviceID uint32, period time.Duration, temp, step float64,
 		if pw != nil {
 			data := raw
 			if radiotap {
-				freq := 2407 + 5*channel
-				data = pcap.AppendRadiotap(pcap.RadiotapMeta{RateKbps: 72000, ChannelMHz: freq}, raw)
+				data = pcap.AppendRadiotap(pcap.RadiotapMeta{RateKbps: 72000, ChannelMHz: ch.FreqMHz}, raw)
 			}
 			if err := pw.WritePacket(pcap.Packet{Time: at, Data: data}); err != nil {
 				return err

@@ -1,0 +1,81 @@
+// Command wile-vet is the multichecker for wile's domain-specific static
+// analyzers. It loads and type-checks the requested packages with the
+// standard library only (no compiled export data, no network) and applies
+// the suite in internal/analysis:
+//
+//	simclock        no wall-clock time or ambient randomness in sim code
+//	unitsafety      no bare numerals becoming unit-typed quantities
+//	invariantpanic  panics carry package prefixes, decode paths return errors
+//	noretain        encoders never alias caller-provided buffers
+//	errdrop         no silently dropped error returns
+//
+// Usage:
+//
+//	wile-vet [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. The exit
+// status is 1 when any diagnostic is reported, so "make lint" fails the
+// build. Individual lines are exempted with a "//wile:allow <analyzer>"
+// comment on the offending line (or the line above); see DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wile/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wile-vet:", err)
+		os.Exit(2)
+	}
+	diags, err := vet(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wile-vet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// vet loads the packages matched by patterns (resolved against dir) and
+// runs the full suite, returning the surviving diagnostics.
+func vet(dir string, patterns []string) ([]analysis.Diagnostic, error) {
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := loader.Expand(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*analysis.Package
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return analysis.Run(pkgs, analysis.Analyzers())
+}

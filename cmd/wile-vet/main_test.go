@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"wile/internal/analysis"
+)
+
+// TestKnownBadFixture runs the full multichecker against the known-bad
+// fixture package and asserts that every analyzer in the suite fires
+// exactly once — the integration contract for the wile-vet driver.
+func TestKnownBadFixture(t *testing.T) {
+	diags, err := vet(".", []string{"../../internal/analysis/testdata/knownbad"})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	counts := make(map[string]int)
+	for _, d := range diags {
+		t.Logf("diagnostic: %s", d)
+		counts[d.Analyzer]++
+	}
+	suite := analysis.Analyzers()
+	if len(diags) != len(suite) {
+		t.Errorf("got %d diagnostics, want %d (one per analyzer)", len(diags), len(suite))
+	}
+	for _, a := range suite {
+		if counts[a.Name] != 1 {
+			t.Errorf("analyzer %s fired %d times, want exactly 1", a.Name, counts[a.Name])
+		}
+	}
+}
+
+// TestPatternExpansion checks that ./... expansion skips testdata trees, so
+// the fixture violations never fail "make lint" on the real tree.
+func TestPatternExpansion(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	paths, err := loader.Expand(".", []string{"../../..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	for _, p := range paths {
+		if p == "wile/internal/analysis/testdata/knownbad" {
+			t.Errorf("pattern expansion must skip testdata, found %s", p)
+		}
+	}
+	want := map[string]bool{
+		"wile":                   false,
+		"wile/internal/sim":      false,
+		"wile/cmd/wile-vet":      false,
+		"wile/examples/farm":     false,
+		"wile/internal/analysis": false,
+	}
+	for _, p := range paths {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("pattern expansion missed %s (got %d packages)", p, len(paths))
+		}
+	}
+}

@@ -77,7 +77,9 @@ func main() {
 		DeviceID: 0xbad, Position: wile.Position{X: 1, Y: 1}, SkipBoot: true,
 	})
 	spoofer.Port.SetRadioOn(true)
-	spoofer.Port.Send(beacon, nil)
+	if err := spoofer.Port.Send(beacon, nil); err != nil {
+		panic(err)
+	}
 	sched.RunFor(time.Second)
 
 	fmt.Println()

@@ -1,0 +1,203 @@
+// Package analysis is wile's domain-specific static-analysis suite.
+//
+// Every number the reproduction reports is an integral over a deterministic
+// current-vs-time waveform, so the codebase carries invariants the Go
+// compiler cannot check: simulation code must never read the wall clock or
+// global randomness, unit-typed quantities (virtual time, dBm) must never be
+// built from bare numerals, panics must identify their package and stay out
+// of decode paths, frame encoders must not alias caller buffers, and errors
+// must not be dropped. The analyzers in this package check those invariants
+// mechanically; cmd/wile-vet is the driver that runs them over the tree.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis API
+// shape (Analyzer, Pass, Diagnostic) but is self-contained: it loads and
+// type-checks packages with the standard library only, so the module keeps
+// its zero-dependency property.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. It mirrors x/tools' analysis.Analyzer so the
+// suite can migrate to the upstream framework if the module ever takes on
+// the dependency.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//wile:allow <name>" suppression directives.
+	Name string
+	// Doc is a one-paragraph description, shown by wile-vet -list.
+	Doc string
+	// Run performs the check on one package, reporting findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way go vet does, with the analyzer name
+// appended so wile-vet output is greppable per check.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Analyzers returns the full wile-vet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{SimClock, UnitSafety, InvariantPanic, NoRetain, ErrDrop}
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics sorted by position. Findings on lines carrying a matching
+// "//wile:allow <analyzer>" directive (on the same line or the line above)
+// are suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+			}
+		}
+	}
+	diags = filterAllowed(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// AllowDirective is the comment prefix that suppresses a finding, e.g.
+//
+//	rng := rand.New(rand.NewSource(1)) //wile:allow simclock -- demo only
+//
+// The directive lists one or more analyzer names (or "all") separated by
+// commas or spaces; anything after " -- " is a human-readable reason.
+const AllowDirective = "//wile:allow"
+
+func filterAllowed(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	// allowed["file:line"] -> set of analyzer names suppressed there.
+	allowed := make(map[string]map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					if allowed[key] == nil {
+						allowed[key] = make(map[string]bool)
+					}
+					for _, n := range names {
+						allowed[key][n] = true
+					}
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		same := allowed[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)]
+		above := allowed[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line-1)]
+		if same[d.Analyzer] || same["all"] || above[d.Analyzer] || above["all"] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func parseAllow(comment string) (names []string, ok bool) {
+	if !strings.HasPrefix(comment, AllowDirective) {
+		return nil, false
+	}
+	rest := comment[len(AllowDirective):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. //wile:allowed — not the directive
+	}
+	if i := strings.Index(rest, " -- "); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.FieldsFunc(rest, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+	if len(fields) == 0 {
+		return nil, false
+	}
+	return fields, true
+}
+
+// --- shared AST/type helpers used by several analyzers ---
+
+// funcName names a FuncDecl for diagnostics, including the receiver type
+// for methods ("(*CCMPSession).Encapsulate").
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	var b strings.Builder
+	b.WriteString("(")
+	writeTypeExpr(&b, recv)
+	b.WriteString(").")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+func writeTypeExpr(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.StarExpr:
+		b.WriteString("*")
+		writeTypeExpr(b, e.X)
+	case *ast.IndexExpr:
+		writeTypeExpr(b, e.X)
+	case *ast.IndexListExpr:
+		writeTypeExpr(b, e.X)
+	default:
+		b.WriteString("?")
+	}
+}
+
+// isInternalPkg reports whether path is under wile/internal/.
+func isInternalPkg(path string) bool {
+	return strings.HasPrefix(path, "wile/internal/")
+}

@@ -1,0 +1,122 @@
+// Package analysistest runs wile's analyzers over fixture packages and
+// checks their diagnostics against "// want" expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// A fixture file marks each expected diagnostic with a comment on the
+// offending line:
+//
+//	t := sim.Time(5000) // want `bare numeral`
+//
+// The backquoted (or double-quoted) string is a regular expression that
+// must match the diagnostic message. Several expectations may follow one
+// want. Diagnostics without a matching want, and wants without a matching
+// diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"wile/internal/analysis"
+)
+
+// Run loads the fixture directory as import path pkgPath and applies the
+// analyzers, comparing diagnostics to the fixture's want comments.
+func Run(t *testing.T, dir, pkgPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDirAs(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	wants := collectWants(t, pkg)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWants(text)
+				if err != nil {
+					t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, re := range res {
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWants extracts the quoted regexps from the text after "// want".
+func parseWants(text string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	s := strings.TrimSpace(text)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '`', '"':
+			quote = s[0]
+		default:
+			return nil, fmt.Errorf("want expectation must be quoted with ` or \": %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want expectation: %q", s)
+		}
+		re, err := regexp.Compile(s[1 : 1+end])
+		if err != nil {
+			return nil, err
+		}
+		res = append(res, re)
+		s = strings.TrimSpace(s[2+end:])
+	}
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags call statements that silently discard an error result. In
+// this codebase a dropped error usually means a malformed frame kept
+// flowing: Marshal/Decode/Append errors are how the codec reports that a
+// buffer is bogus. Only plain expression statements are flagged — an
+// explicit "_ =" assignment and deferred cleanup calls are visible,
+// deliberate choices left to review.
+//
+// A small set of can't-usefully-fail writers is excluded: the fmt print
+// family, bytes.Buffer, strings.Builder, and hash.Hash writes, all of
+// which document that they do not return meaningful errors.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag statements that call a function returning an error and drop it",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || tv.IsType() {
+				return true // conversion, or unresolved
+			}
+			sig, ok := tv.Type.Underlying().(*types.Signature)
+			if !ok {
+				return true // builtin
+			}
+			res := sig.Results()
+			if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+				return true
+			}
+			if errDropExcluded(info, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s returns an error that is silently dropped; handle it or assign it explicitly", callName(info, call))
+			return true
+		})
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// errDropExcluded reports whether the callee belongs to the short list of
+// functions whose error results are documented never to matter.
+func errDropExcluded(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level fmt.Print/Printf/Println/Fprint*.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := info.Uses[id].(*types.PkgName); ok {
+			if pkg.Imported().Path() == "fmt" && (strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")) {
+				return true
+			}
+			return false
+		}
+	}
+	// Methods on never-failing writers.
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	owner := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	method := sel.Sel.Name
+	switch owner {
+	case "bytes.Buffer", "strings.Builder":
+		return strings.HasPrefix(method, "Write")
+	case "hash.Hash":
+		return method == "Write"
+	}
+	return false
+}
+
+func callName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// InvariantPanic enforces the repo's panic hygiene in internal/ packages:
+//
+//   - every panic message must carry the package prefix ("phy: ...",
+//     "sta: ...") so a stack-less log line still identifies the subsystem;
+//   - decode/parse paths — the functions fuzzers reach with attacker-shaped
+//     bytes — must never panic at all; malformed input is an error return,
+//     and panics are reserved for programmer-error invariants.
+var InvariantPanic = &Analyzer{
+	Name: "invariantpanic",
+	Doc: "panics in internal/ must carry their package prefix and must not appear " +
+		"in decode/parse paths, which return errors for malformed input",
+	Run: runInvariantPanic,
+}
+
+// decodePathPrefixes mark function names that process untrusted input.
+// The match is case-insensitive so unexported helpers (decodeFrom,
+// parseTLV) are covered too. Must* wrappers (MustParseMAC) do not match:
+// they are constructors for constants and panic by contract.
+var decodePathPrefixes = []string{"decode", "parse", "unmarshal", "unwrap"}
+
+func isDecodePathName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range decodePathPrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runInvariantPanic(pass *Pass) error {
+	if !isInternalPkg(pass.Pkg.PkgPath) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	pkgName := pass.Pkg.Types.Name()
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inDecodePath := isDecodePathName(fd.Name.Name)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if inDecodePath {
+					pass.Reportf(call.Pos(), "%s is a decode path reachable with untrusted input; return an error instead of panicking", funcName(fd))
+					return true
+				}
+				if len(call.Args) == 1 && !panicMessageHasPrefix(info, call.Args[0], pkgName+": ") {
+					pass.Reportf(call.Pos(), "panic message must carry the %q package prefix (e.g. panic(%q))", pkgName+": ", pkgName+": ...")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// panicMessageHasPrefix reports whether the panic argument demonstrably
+// starts with prefix: a string literal, a fmt.Sprintf/fmt.Errorf whose
+// format literal starts with it, or a concatenation whose leftmost operand
+// does. Anything else (panic(err), panic(v)) cannot be verified and fails.
+func panicMessageHasPrefix(info *types.Info, arg ast.Expr, prefix string) bool {
+	switch arg := arg.(type) {
+	case *ast.BasicLit:
+		return litHasPrefix(arg, prefix)
+	case *ast.BinaryExpr:
+		// Leftmost operand of a "..." + x + y chain.
+		return panicMessageHasPrefix(info, arg.X, prefix)
+	case *ast.ParenExpr:
+		return panicMessageHasPrefix(info, arg.X, prefix)
+	case *ast.CallExpr:
+		sel, ok := arg.Fun.(*ast.SelectorExpr)
+		if !ok || len(arg.Args) == 0 {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		pkg, ok := info.Uses[id].(*types.PkgName)
+		if !ok || pkg.Imported().Path() != "fmt" {
+			return false
+		}
+		switch sel.Sel.Name {
+		case "Sprintf", "Errorf", "Sprint":
+			if lit, ok := arg.Args[0].(*ast.BasicLit); ok {
+				return litHasPrefix(lit, prefix)
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func litHasPrefix(lit *ast.BasicLit, prefix string) bool {
+	s := lit.Value
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '`') {
+		s = s[1 : len(s)-1]
+	}
+	return strings.HasPrefix(s, prefix)
+}

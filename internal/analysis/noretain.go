@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoRetain guards encoder functions against aliasing caller-provided
+// buffers. The transmit path pre-computes frames and reuses scratch
+// buffers; an encoder that returns (or stashes in a field) a sub-slice of
+// its input silently couples two frames to one backing array, and the
+// corruption only shows up frames later as an FCS mismatch. For functions
+// whose name marks them as encoders (Append*, Marshal*, Encode*, Seal*,
+// Encap*, Build*):
+//
+//   - returning a []byte parameter, or a slice of one, is flagged — copy
+//     into a fresh buffer instead. Append-style functions are exempt for
+//     their first []byte parameter (the destination being appended to:
+//     aliasing dst is the documented contract);
+//   - assigning a []byte parameter (or a slice of one) to a struct field
+//     is flagged — the encoder must not retain the buffer past the call.
+//
+// Decoders are intentionally out of scope: dot11 documents that decoded
+// slices alias the input.
+var NoRetain = &Analyzer{
+	Name: "noretain",
+	Doc: "frame encoders must not return or retain slices aliasing " +
+		"caller-provided buffers (append-style dst parameters excepted)",
+	Run: runNoRetain,
+}
+
+var encoderNamePrefixes = []string{"append", "marshal", "encode", "seal", "encap", "build"}
+
+func isEncoderName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range encoderNamePrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoRetain(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isEncoderName(fd.Name.Name) {
+				continue
+			}
+			byteParams := byteSliceParams(info, fd)
+			if len(byteParams) == 0 {
+				continue
+			}
+			// Append-style functions take the destination first and alias
+			// it by contract.
+			var dst types.Object
+			if strings.HasPrefix(strings.ToLower(fd.Name.Name), "append") {
+				dst = firstByteParam(info, fd)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						obj := aliasedParam(info, byteParams, res)
+						if obj != nil && obj != dst {
+							pass.Reportf(res.Pos(), "%s returns a slice aliasing its caller-provided buffer %s; copy the bytes before returning", funcName(fd), obj.Name())
+						}
+					}
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						if i >= len(n.Rhs) {
+							break
+						}
+						if _, isField := lhs.(*ast.SelectorExpr); !isField {
+							continue
+						}
+						obj := aliasedParam(info, byteParams, n.Rhs[i])
+						if obj != nil {
+							pass.Reportf(n.Rhs[i].Pos(), "%s retains its caller-provided buffer %s in a field; copy the bytes instead", funcName(fd), obj.Name())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// byteSliceParams collects the objects of fd's []byte parameters.
+func byteSliceParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return params
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isByteSlice(obj.Type()) {
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}
+
+func firstByteParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isByteSlice(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// aliasedParam unwraps slicing/parenthesization and reports the parameter
+// object e aliases, or nil.
+func aliasedParam(info *types.Info, params map[types.Object]bool, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj != nil && params[obj] {
+				return obj
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

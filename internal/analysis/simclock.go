@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimClock forbids wall-clock time and ambient randomness in simulation
+// code. Every experiment must be bit-for-bit reproducible from its seed:
+// the only legal sources of time and randomness are the virtual clock
+// (sim.Scheduler) and the seeded generator (sim.Rand). cmd/ entry points
+// are allowlisted — a CLI may timestamp its log lines — and individual
+// lines can be exempted with "//wile:allow simclock".
+var SimClock = &Analyzer{
+	Name: "simclock",
+	Doc: "forbid time.Now/Sleep/After, timers and math/rand in simulation code; " +
+		"sim.Scheduler and sim.Rand are the only legal time/randomness sources",
+	Run: runSimClock,
+}
+
+// simclockAllowedPrefixes lists import-path prefixes where wall-clock use
+// is legitimate (interactive entry points, not simulation logic).
+var simclockAllowedPrefixes = []string{
+	"wile/cmd/",
+}
+
+// wallClockFuncs are the package-level functions of "time" that couple the
+// caller to the wall clock or the process scheduler.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+func runSimClock(pass *Pass) error {
+	for _, prefix := range simclockAllowedPrefixes {
+		if strings.HasPrefix(pass.Pkg.PkgPath, prefix) {
+			return nil
+		}
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Syntax {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s breaks run-to-run determinism; use the seeded wile/internal/sim.Rand", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := info.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation code must use the sim.Scheduler virtual clock", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

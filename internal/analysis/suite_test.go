@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wile/internal/analysis"
+	"wile/internal/analysis/analysistest"
+)
+
+const fixtureRoot = "wile/internal/analysis/testdata/"
+
+func TestSimClock(t *testing.T) {
+	analysistest.Run(t, "testdata/simclock", fixtureRoot+"simclock", analysis.SimClock)
+}
+
+// TestSimClockCmdAllowlist checks that the same wall-clock calls produce no
+// findings when the package lives under a wile/cmd/ import path.
+func TestSimClockCmdAllowlist(t *testing.T) {
+	analysistest.Run(t, "testdata/simclock_cmd", "wile/cmd/simclock-fixture", analysis.SimClock)
+}
+
+func TestUnitSafety(t *testing.T) {
+	analysistest.Run(t, "testdata/unitsafety", fixtureRoot+"unitsafety", analysis.UnitSafety)
+}
+
+func TestInvariantPanic(t *testing.T) {
+	analysistest.Run(t, "testdata/invariantpanic", fixtureRoot+"invariantpanic", analysis.InvariantPanic)
+}
+
+func TestNoRetain(t *testing.T) {
+	analysistest.Run(t, "testdata/noretain", fixtureRoot+"noretain", analysis.NoRetain)
+}
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, "testdata/errdrop", fixtureRoot+"errdrop", analysis.ErrDrop)
+}

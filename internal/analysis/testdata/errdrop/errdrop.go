@@ -1,0 +1,37 @@
+// Package errdrop is the fixture for the errdrop analyzer.
+package errdrop
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"strings"
+)
+
+type enc struct{}
+
+func (enc) flush() error        { return nil }
+func (enc) count() (int, error) { return 0, nil }
+func fallible() error           { return nil }
+func infallible()               {}
+func multi() (string, int)      { return "", 0 }
+
+func Use(buf *bytes.Buffer, sb *strings.Builder) {
+	fallible() // want `fallible returns an error that is silently dropped`
+	var e enc
+	e.flush() // want `e.flush returns an error that is silently dropped`
+	e.count() // want `e.count returns an error that is silently dropped`
+	infallible()
+	multi()
+	_ = fallible() // ok: explicitly discarded, visible in review
+	fmt.Println("hello")
+	fmt.Printf("%d\n", 1)
+	buf.WriteString("x")
+	sb.WriteByte('y')
+	h := sha256.New()
+	h.Write([]byte("z")) // ok: hash.Hash.Write never fails
+	if err := fallible(); err != nil {
+		fmt.Println(err)
+	}
+	fallible() //wile:allow errdrop -- fixture: directive suppression
+}

@@ -1,0 +1,58 @@
+// Package invariantpanic is the fixture for the invariantpanic analyzer.
+package invariantpanic
+
+import "fmt"
+
+func Configure(n int) {
+	if n < 0 {
+		panic("invariantpanic: negative n") // ok: prefixed literal
+	}
+	if n == 1 {
+		panic(fmt.Sprintf("invariantpanic: odd n %d", n)) // ok: prefixed format
+	}
+	if n == 2 {
+		panic("invariantpanic: " + fmt.Sprint(n)) // ok: prefixed concatenation
+	}
+	if n == 3 {
+		panic("bad n") // want `panic message must carry the "invariantpanic: " package prefix`
+	}
+	if n == 4 {
+		panic(fmt.Errorf("bad n %d", n)) // want `package prefix`
+	}
+}
+
+func MustValue(s string) int {
+	if s == "" {
+		panic(errEmpty) // want `package prefix`
+	}
+	return len(s)
+}
+
+var errEmpty = fmt.Errorf("invariantpanic: empty") // prefix invisible to the analyzer
+
+func ParseThing(b []byte) byte {
+	if len(b) == 0 {
+		panic("invariantpanic: empty") // want `ParseThing is a decode path`
+	}
+	return b[0]
+}
+
+func decodeFrom(b []byte) byte {
+	if len(b) == 0 {
+		panic("empty") // want `decodeFrom is a decode path`
+	}
+	return b[0]
+}
+
+func MustParse(s string) int {
+	if s == "" {
+		// Must* constructors panic by contract and are not decode paths,
+		// but the prefix rule still applies.
+		panic("invariantpanic: MustParse: empty input")
+	}
+	return len(s)
+}
+
+func suppressed() {
+	panic("no prefix here") //wile:allow invariantpanic -- fixture: directive suppression
+}

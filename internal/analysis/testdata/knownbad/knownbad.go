@@ -1,0 +1,39 @@
+// Package knownbad is the integration fixture for cmd/wile-vet: each of
+// the five analyzers in the suite fires exactly once in this package.
+package knownbad
+
+import (
+	"time"
+
+	"wile/internal/sim"
+)
+
+func wallClock() time.Time {
+	return time.Now() // simclock: wall-clock read in simulation code
+}
+
+func deadline() sim.Time {
+	var d sim.Time
+	d = 250000 // unitsafety: bare numeral becomes virtual nanoseconds
+	return d
+}
+
+func ParseByte(b []byte) byte {
+	if len(b) == 0 {
+		panic("knownbad: empty input") // invariantpanic: decode paths return errors
+	}
+	return b[0]
+}
+
+func EncodeBody(b []byte) []byte {
+	return b[:1] // noretain: aliases the caller's buffer
+}
+
+func emit() error { return nil }
+
+func run() {
+	emit() // errdrop: dropped error return
+}
+
+// use keeps the fixture's helpers referenced.
+var use = []any{wallClock, deadline, ParseByte, EncodeBody, run}

@@ -1,0 +1,47 @@
+// Package noretain is the fixture for the noretain analyzer.
+package noretain
+
+type framer struct {
+	scratch []byte
+}
+
+func EncodeHeader(b []byte) []byte {
+	return b[:2] // want `returns a slice aliasing its caller-provided buffer b`
+}
+
+func MarshalTrailer(b []byte) ([]byte, error) {
+	return b, nil // want `returns a slice aliasing its caller-provided buffer b`
+}
+
+func (f *framer) EncodeInto(payload []byte) []byte {
+	f.scratch = payload[:0] // want `retains its caller-provided buffer payload`
+	out := make([]byte, 2)
+	return out
+}
+
+func AppendHeader(dst []byte, v byte) []byte {
+	return append(dst, v) // ok: append is the contract
+}
+
+func AppendChecksum(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst // ok: dst is the designated destination
+	}
+	return src // want `returns a slice aliasing its caller-provided buffer src`
+}
+
+func MarshalCopy(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out // ok: fresh buffer
+}
+
+// DecodePayload is a decoder: aliasing the input is documented behaviour
+// and out of the analyzer's scope.
+func DecodePayload(b []byte) []byte {
+	return b[1:]
+}
+
+func SealFrame(key, plaintext []byte) []byte {
+	return plaintext //wile:allow noretain -- fixture: directive suppression
+}

@@ -1,0 +1,30 @@
+// Package simclock is the fixture for the simclock analyzer.
+package simclock
+
+import (
+	"math/rand" // want `math/rand breaks run-to-run determinism`
+	"time"
+)
+
+func bad() time.Duration {
+	start := time.Now()          // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	<-time.After(time.Second)    // want `time.After reads the wall clock`
+	t := time.NewTimer(0)        // want `time.NewTimer reads the wall clock`
+	t.Stop()
+	_ = rand.Int()           // the import ban covers global rand; no extra finding here
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func indirect() func() time.Time {
+	return time.Now // want `time.Now reads the wall clock`
+}
+
+func allowed() time.Time {
+	return time.Now() //wile:allow simclock -- fixture: directive suppression
+}
+
+func ok() time.Duration {
+	// Durations and arithmetic are fine; only wall-clock reads are banned.
+	return 3 * time.Second
+}

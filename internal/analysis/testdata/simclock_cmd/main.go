@@ -1,0 +1,10 @@
+// Package main is the simclock allowlist fixture: loaded under a
+// wile/cmd/... import path, wall-clock use must produce no findings.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+	time.Sleep(time.Millisecond)
+}

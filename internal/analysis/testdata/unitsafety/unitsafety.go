@@ -1,0 +1,46 @@
+// Package unitsafety is the fixture for the unitsafety analyzer.
+package unitsafety
+
+import (
+	"time"
+
+	"wile/internal/phy"
+	"wile/internal/sim"
+)
+
+type config struct {
+	Deadline sim.Time
+	Floor    phy.DBm
+	Label    string
+}
+
+func conversions(d time.Duration) {
+	_ = sim.Time(5000)     // want `sim.Time\(5000\) converts a bare numeral`
+	_ = sim.Time(2 * 1000) // want `converts a bare numeral to virtual nanoseconds`
+	_ = sim.Time(d)        // ok: dynamic value, carries its own unit
+	_ = sim.FromDuration(d)
+	_ = sim.Time(0)              // ok: zero value
+	_ = 5 * sim.Microsecond      // ok: named unit constant
+	_ = sim.Time(3 * sim.Second) // ok: built from named constants
+	_ = phy.DBm(-70)             // ok: DBm's constructor spelling
+}
+
+func implicit(sched *sim.Scheduler) {
+	sched.At(5000, func() {}) // want `bare numeral 5000 passed as sim.Time`
+	sched.At(5*sim.Microsecond, func() {})
+	c := config{Deadline: 1700, Label: "x"} // want `bare numeral 1700 assigned to field Deadline`
+	c.Deadline = 12                         // want `bare numeral 12 assigned to sim.Time`
+	c.Floor = -70                           // want `bare numeral -70 assigned to phy.DBm`
+	var floor phy.DBm = -40                 // want `bare numeral -40 initializing phy.DBm`
+	deadlines := []sim.Time{1000}           // want `bare numeral 1000 stored as sim.Time`
+	positional := config{4200, -3, "y"}     // want `bare numeral 4200 assigned to field Deadline` `bare numeral -3 assigned to field Floor`
+	var t sim.Time
+	if t > 500 { // want `bare numeral 500 combined`
+		t = t + 250 // want `bare numeral 250 combined`
+	}
+	_, _, _, _, _ = c, floor, deadlines, positional, t
+}
+
+func suppressed() sim.Time {
+	return sim.Time(123456789) //wile:allow unitsafety -- fixture: directive suppression
+}

@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// UnitSafety keeps bare numerals out of unit-typed quantities. A literal
+// like 5000 silently converting to sim.Time (nanoseconds!) or phy.DBm is
+// exactly the class of bug that skews an energy integral without failing a
+// single test, so:
+//
+//   - explicit conversions of constant expressions built only from bare
+//     literals to sim.Time are flagged (write 5*sim.Microsecond or
+//     sim.FromDuration(d) instead);
+//   - bare literal constants may not flow implicitly into unit-typed
+//     function arguments, struct fields, assignments or composite-literal
+//     elements — spell the unit out at the call site.
+//
+// Zero is exempt (zero-value initialization is unambiguous), as are the
+// packages that define the units and their constructors.
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc: "forbid bare numeric literals becoming unit-typed values (sim.Time, phy.DBm); " +
+		"quantities must be built from named unit constants or constructors",
+	Run: runUnitSafety,
+}
+
+// unitHomePackages define the unit types and their constructor helpers;
+// inside them, raw numerals are the implementation.
+var unitHomePackages = map[string]bool{
+	"wile/internal/sim":    true,
+	"wile/internal/phy":    true,
+	"wile/internal/energy": true,
+}
+
+// unitTypeName reports the display name of t if it is one of the guarded
+// unit types, else "".
+func unitTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case obj.Pkg().Path() == "wile/internal/sim" && obj.Name() == "Time":
+		return "sim.Time"
+	case obj.Pkg().Path() == "wile/internal/phy" && obj.Name() == "DBm":
+		return "phy.DBm"
+	}
+	return ""
+}
+
+func runUnitSafety(pass *Pass) error {
+	if unitHomePackages[pass.Pkg.PkgPath] {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkUnitCall(pass, n)
+			case *ast.CompositeLit:
+				checkUnitCompositeLit(pass, n)
+			case *ast.BinaryExpr:
+				checkUnitBinary(pass, n)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break // x, y = f() — results are typed, not literals
+					}
+					lt := info.TypeOf(lhs)
+					if lt == nil {
+						continue
+					}
+					if unit := unitTypeName(lt); unit != "" {
+						reportBareLiteral(pass, n.Rhs[i], unit, "assigned to")
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type == nil {
+					break
+				}
+				t := info.TypeOf(n.Type)
+				if t == nil {
+					break
+				}
+				if unit := unitTypeName(t); unit != "" {
+					for _, v := range n.Values {
+						reportBareLiteral(pass, v, unit, "initializing")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkUnitCall handles both conversions sim.Time(<literal expr>) and bare
+// literals passed as unit-typed parameters.
+func checkUnitCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion. Only sim.Time is restricted: its package exports the
+		// named constants (sim.Microsecond, ...) that make raw-nanosecond
+		// conversions unnecessary. phy.DBm(x) is the unit's constructor
+		// spelling and stays legal.
+		if unitTypeName(tv.Type) != "sim.Time" || len(call.Args) != 1 {
+			return
+		}
+		arg := call.Args[0]
+		if isBareConstant(info, arg) {
+			pass.Reportf(call.Pos(), "sim.Time(%s) converts a bare numeral to virtual nanoseconds; use the sim duration constants (e.g. 5*sim.Microsecond) or sim.FromDuration", exprString(arg))
+		}
+		return
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if unit := unitTypeName(pt); unit != "" {
+			reportBareLiteral(pass, arg, unit, "passed as")
+		}
+	}
+}
+
+// checkUnitBinary flags additive arithmetic and comparisons that mix a
+// unit-typed operand with a bare numeral: t + 5000 adds five thousand raw
+// nanoseconds. Multiplication and division by a dimensionless scalar
+// (2*timeout) are legitimate and stay legal.
+func checkUnitBinary(pass *Pass, b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	info := pass.Pkg.Info
+	check := func(unitSide, litSide ast.Expr) {
+		t := info.TypeOf(unitSide)
+		if t == nil {
+			return
+		}
+		if unit := unitTypeName(t); unit != "" {
+			reportBareLiteral(pass, litSide, unit, "combined ("+b.Op.String()+") with")
+		}
+	}
+	check(b.X, b.Y)
+	check(b.Y, b.X)
+}
+
+func checkUnitCompositeLit(pass *Pass, lit *ast.CompositeLit) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[lit]
+	if !ok {
+		return
+	}
+	switch under := tv.Type.Underlying().(type) {
+	case *types.Struct:
+		for i, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Uses[key]
+				if obj == nil {
+					continue
+				}
+				if unit := unitTypeName(obj.Type()); unit != "" {
+					reportBareLiteral(pass, kv.Value, unit, "assigned to field "+key.Name+" of")
+				}
+			} else if i < under.NumFields() {
+				if unit := unitTypeName(under.Field(i).Type()); unit != "" {
+					reportBareLiteral(pass, el, unit, "assigned to field "+under.Field(i).Name()+" of")
+				}
+			}
+		}
+	case *types.Slice:
+		checkUnitElems(pass, lit, under.Elem())
+	case *types.Array:
+		checkUnitElems(pass, lit, under.Elem())
+	case *types.Map:
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if unit := unitTypeName(under.Elem()); unit != "" {
+					reportBareLiteral(pass, kv.Value, unit, "stored as")
+				}
+			}
+		}
+	}
+}
+
+func checkUnitElems(pass *Pass, lit *ast.CompositeLit, elem types.Type) {
+	unit := unitTypeName(elem)
+	if unit == "" {
+		return
+	}
+	for _, el := range lit.Elts {
+		v := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		reportBareLiteral(pass, v, unit, "stored as")
+	}
+}
+
+func reportBareLiteral(pass *Pass, e ast.Expr, unit, how string) {
+	if !isBareConstant(pass.Pkg.Info, e) {
+		return
+	}
+	pass.Reportf(e.Pos(), "bare numeral %s %s %s; write the quantity with explicit units (named constant or unit expression)", exprString(e), how, unit)
+}
+
+// isBareConstant reports whether e is a non-zero constant expression built
+// entirely from literals — no identifier (named constant) anywhere in it.
+// Named constants carry their unit in their name or declared type, so they
+// are exempt; 0 is exempt as the unambiguous zero value.
+func isBareConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if constant.Sign(tv.Value) == 0 {
+		return false
+	}
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.BasicLit, *ast.BinaryExpr, *ast.UnaryExpr, *ast.ParenExpr:
+			return true
+		default:
+			pure = false
+			return false
+		}
+	})
+	return pure
+}
+
+// exprString renders a short source form of e for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.UnaryExpr:
+		if x, ok := e.X.(*ast.BasicLit); ok {
+			return e.Op.String() + x.Value
+		}
+	}
+	return "constant"
+}

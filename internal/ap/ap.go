@@ -164,7 +164,7 @@ func New(sched *sim.Scheduler, med *medium.Medium, cfg Config) *AP {
 	a.groupTx = crypto80211.NewCCMPSession(a.gtk)
 	// APs transmit at ~20 dBm (100 mW), the typical regulatory ceiling.
 	a.Port = mac.New(sched, med, "ap:"+cfg.SSID, cfg.Position, cfg.BSSID,
-		phy.RateHTMCS7, 20, phy.SensitivityWiFi1M, sim.NewRand(cfg.Seed^0x5555))
+		phy.RateHTMCS7, phy.DBm(20), phy.SensitivityWiFi1M, sim.NewRand(cfg.Seed^0x5555))
 	a.Port.Handler = a.handle
 	return a
 }
@@ -226,7 +226,15 @@ func (a *AP) sendBeacon() {
 	b := dot11.NewBeacon(a.Cfg.BSSID, a.Cfg.BeaconIntervalTU, dot11.CapESS|dot11.CapPrivacy, a.elements(true))
 	b.Timestamp = uint64(a.sched.Now() / sim.Microsecond)
 	a.Stats.BeaconsSent++
-	a.Port.Send(b, nil)
+	a.send(b, nil)
+}
+
+// send transmits a frame the AP built itself. Port.Send only fails when the
+// frame cannot be marshalled, which for AP-constructed frames is a bug.
+func (a *AP) send(f dot11.Frame, done func(ok bool)) {
+	if err := a.Port.Send(f, done); err != nil {
+		panic(fmt.Sprintf("ap: %v", err))
+	}
 }
 
 // station returns (creating if needed) the state for addr.
@@ -276,7 +284,7 @@ func (a *AP) handleProbe(p *dot11.ProbeReq) {
 	resp.Header.Addr2 = a.Cfg.BSSID
 	resp.Header.Addr3 = a.Cfg.BSSID
 	a.Stats.ProbeResponses++
-	a.Port.Send(resp, nil)
+	a.send(resp, nil)
 }
 
 func (a *AP) handleAuth(req *dot11.Auth) {
@@ -294,7 +302,7 @@ func (a *AP) sendAuthResp(to dot11.MAC, status dot11.StatusCode) {
 	resp.Header.Addr1 = to
 	resp.Header.Addr2 = a.Cfg.BSSID
 	resp.Header.Addr3 = a.Cfg.BSSID
-	a.Port.Send(resp, nil)
+	a.send(resp, nil)
 }
 
 func (a *AP) handleAssoc(req *dot11.AssocReq) {
@@ -305,18 +313,18 @@ func (a *AP) handleAssoc(req *dot11.AssocReq) {
 	resp.Header.Addr3 = a.Cfg.BSSID
 	if !st.authed {
 		resp.Status = dot11.StatusDeniedGeneral
-		a.Port.Send(resp, nil)
+		a.send(resp, nil)
 		return
 	}
 	if info, ok := req.Elements.Find(dot11.ElementRSN); ok {
 		if rsn, err := dot11.ParseRSN(info); err != nil || len(rsn.AKMs) == 0 || rsn.AKMs[0] != dot11.AKMPSK {
 			resp.Status = dot11.StatusInvalidRSN
-			a.Port.Send(resp, nil)
+			a.send(resp, nil)
 			return
 		}
 	} else {
 		resp.Status = dot11.StatusInvalidRSN
-		a.Port.Send(resp, nil)
+		a.send(resp, nil)
 		return
 	}
 	if st.aid == 0 {
@@ -328,7 +336,7 @@ func (a *AP) handleAssoc(req *dot11.AssocReq) {
 	resp.Status = dot11.StatusSuccess
 	resp.AID = st.aid
 	a.Stats.AssocAccepted++
-	a.Port.Send(resp, func(ok bool) {
+	a.send(resp, func(ok bool) {
 		if ok {
 			a.startHandshake(req.Header.Addr2, st)
 		}
@@ -424,7 +432,7 @@ func (a *AP) relayGroup(sa, da dot11.MAC, msdu []byte) {
 	}
 	f.Payload = body
 	a.Stats.GroupRelays++
-	a.Port.Send(f, nil)
+	a.send(f, nil)
 }
 
 func (a *AP) handleEAPOL(src dot11.MAC, st *stationState, pdu []byte) {
@@ -438,7 +446,7 @@ func (a *AP) handleEAPOL(src dot11.MAC, st *stationState, pdu []byte) {
 		d.Header.Addr1 = src
 		d.Header.Addr2 = a.Cfg.BSSID
 		d.Header.Addr3 = a.Cfg.BSSID
-		a.Port.Send(d, nil)
+		a.send(d, nil)
 		delete(a.stations, src)
 		return
 	}
@@ -564,7 +572,7 @@ func (a *AP) transmitDownlink(sta dot11.MAC, st *stationState, msdu bufferedMSDU
 		}
 		f.Payload = body
 	}
-	a.Port.Send(f, nil)
+	a.send(f, nil)
 }
 
 // handlePSPoll releases one buffered frame to a polling station.

@@ -78,7 +78,7 @@ func (k *Key) nonce(deviceID uint32, seq uint16, flags byte) [aes.BlockSize]byte
 func (k *Key) Seal(deviceID uint32, seq uint16, flags byte, plaintext []byte) []byte {
 	block, err := aes.NewCipher(k.enc[:])
 	if err != nil {
-		panic(err) // KeyLen is a valid AES key size by construction
+		panic("core: aes.NewCipher: " + err.Error()) // KeyLen is a valid AES key size by construction
 	}
 	n := k.nonce(deviceID, seq, flags)
 	out := make([]byte, len(plaintext), len(plaintext)+TagLen)
@@ -105,7 +105,7 @@ func (k *Key) Open(deviceID uint32, seq uint16, flags byte, sealed []byte) ([]by
 	}
 	block, err := aes.NewCipher(k.enc[:])
 	if err != nil {
-		panic(err)
+		panic("core: aes.NewCipher: " + err.Error())
 	}
 	out := make([]byte, len(ct))
 	cipher.NewCTR(block, n[:]).XORKeyStream(out, ct)

@@ -169,7 +169,7 @@ func (s *Sensor) TransmitOnce(readings []Reading, done func(ok bool)) {
 		s.Stats.Fragments += len(beacon.Elements.Vendors(OUI))
 		s.Port.SetRadioOn(true)
 		s.Dev.SetState(esp32.StateRadioListen)
-		s.Port.Send(beacon, func(ok bool) {
+		err = s.Port.Send(beacon, func(ok bool) {
 			if s.Cfg.RxWindow > 0 {
 				// §6: hold the radio on for the announced window so a
 				// base station can inject a response.
@@ -184,6 +184,9 @@ func (s *Sensor) TransmitOnce(readings []Reading, done func(ok bool)) {
 			s.sleep()
 			finish(ok)
 		})
+		if err != nil {
+			panic(fmt.Sprintf("core: sending beacon: %v", err))
+		}
 	}
 	s.Dev.SetState(esp32.StateCPUActive)
 	if s.Cfg.SkipBoot {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"wile/internal/dot11"
 	"wile/internal/mac"
 	"wile/internal/medium"
@@ -102,5 +104,7 @@ func (r *Responder) handleFrame(f dot11.Frame, rx medium.Reception) {
 	}
 	r.Stats.Responses++
 	// Inject immediately: the device's window is only tens of ms wide.
-	r.Port.Send(down, nil)
+	if err := r.Port.Send(down, nil); err != nil {
+		panic(fmt.Sprintf("core: sending downlink: %v", err))
+	}
 }

@@ -51,7 +51,7 @@ func ParseMAC(s string) (MAC, error) {
 func MustParseMAC(s string) MAC {
 	m, err := ParseMAC(s)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("dot11: MustParseMAC: %v", err))
 	}
 	return m
 }

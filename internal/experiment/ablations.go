@@ -488,7 +488,7 @@ func RunInterferenceStudy(duties []float64) []InterferencePoint {
 		if duty > 0 {
 			// The interferer transmits fixed junk bursts without carrier
 			// sensing; burst length sets the duty cycle.
-			jam := w.med.Attach("interferer", medium.Position{X: 1}, 10, phy.SensitivityWiFi1M)
+			jam := w.med.Attach("interferer", medium.Position{X: 1}, phy.DBm(10), phy.SensitivityWiFi1M)
 			jam.SetOn(true)
 			// DSSS-1 airtime: 192 µs preamble + 8 µs/byte.
 			burstAir := time.Duration(duty * float64(burstPeriod))

@@ -163,7 +163,9 @@ func RunJoinCapture() ([]pcap.Packet, error) {
 		return nil, fmt.Errorf("experiment: capture join: %v", joinErr)
 	}
 	// One sensor reading on top, so the capture ends with app data.
-	station.SendReading([]byte("temp=17.0"), 5683, nil)
+	if err := station.SendReading([]byte("temp=17.0"), 5683, nil); err != nil {
+		return nil, fmt.Errorf("experiment: capture send: %w", err)
+	}
 	w.sched.RunFor(100 * time.Millisecond)
 	return packets, nil
 }

@@ -54,10 +54,12 @@ func RunFig3a() (*Trace, error) {
 					joinErr = err
 					return
 				}
-				station.SendReading([]byte("temp=17.0"), 5683, func(ok bool) {
+				if err := station.SendReading([]byte("temp=17.0"), 5683, func(ok bool) {
 					txOK = &ok
 					station.Sleep()
-				})
+				}); err != nil {
+					joinErr = err
+				}
 			})
 		})
 	})

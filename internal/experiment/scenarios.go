@@ -182,10 +182,12 @@ func MeasureWiFiDC() (Episode, error) {
 				joinErr = err
 				return
 			}
-			station.SendReading([]byte("temp=17.0"), 5683, func(ok bool) {
+			if err := station.SendReading([]byte("temp=17.0"), 5683, func(ok bool) {
 				txOK = &ok
 				station.Sleep()
-			})
+			}); err != nil {
+				joinErr = err
+			}
 		})
 	})
 	w.sched.RunUntil(5 * sim.Second)
@@ -237,7 +239,9 @@ func MeasureWiFiPS() (Episode, error) {
 		return Episode{}, fmt.Errorf("experiment: WiFi-PS join: %v", joinErr)
 	}
 	psEntered := false
-	station.EnterPowerSave(func(ok bool) { psEntered = ok })
+	if err := station.EnterPowerSave(func(ok bool) { psEntered = ok }); err != nil {
+		return Episode{}, fmt.Errorf("experiment: power-save entry: %w", err)
+	}
 	w.sched.RunFor(time.Second)
 	if !psEntered {
 		return Episode{}, fmt.Errorf("experiment: power-save entry failed")
@@ -303,10 +307,12 @@ func MeasureWiFiDCFast() (Episode, error) {
 				joinErr = err
 				return
 			}
-			station.SendReading([]byte("temp=17.0"), 5683, func(ok bool) {
+			if err := station.SendReading([]byte("temp=17.0"), 5683, func(ok bool) {
 				txOK = &ok
 				station.Sleep()
-			})
+			}); err != nil {
+				joinErr = err
+			}
 		})
 	})
 	w.sched.RunUntil(start + 5*sim.Second)

@@ -54,7 +54,7 @@ func ParseIP(s string) (IP, error) {
 func MustParseIP(s string) IP {
 	ip, err := ParseIP(s)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("netstack: MustParseIP: %v", err))
 	}
 	return ip
 }

@@ -117,9 +117,15 @@ func TestEnergyPerBitReproducesPaperClaim(t *testing.T) {
 	// radio-only ratio claim instead: BLE per-bit energy is ≥3× the WiFi
 	// OFDM rates at equal TX power.
 	const txW = 0.0546
-	ble := EnergyPerBit(RateBLE1M, 31, txW)
+	ble, err := EnergyPerBit(RateBLE1M, 31, txW)
+	if err != nil {
+		t.Fatalf("EnergyPerBit(BLE): %v", err)
+	}
 	for _, r := range []Rate{RateOFDM24, RateOFDM54, RateHTMCS7SGI} {
-		wifi := EnergyPerBit(r, 1500, txW)
+		wifi, err := EnergyPerBit(r, 1500, txW)
+		if err != nil {
+			t.Fatalf("EnergyPerBit(%v): %v", r, err)
+		}
 		if ble < 3*wifi {
 			t.Errorf("BLE %.1f nJ/bit not ≥3× WiFi %v %.1f nJ/bit", ble*1e9, r, wifi*1e9)
 		}
@@ -127,7 +133,11 @@ func TestEnergyPerBitReproducesPaperClaim(t *testing.T) {
 	// And with the ESP32's real TX draw (~180 mA at 3.3 V ≈ 0.6 W), high
 	// rate WiFi lands in the paper's 10–100 nJ/bit window.
 	for _, r := range []Rate{RateOFDM24, RateOFDM54, RateHTMCS7, RateHTMCS7SGI} {
-		e := EnergyPerBit(r, 1500, 0.594) * 1e9
+		perBit, err := EnergyPerBit(r, 1500, 0.594)
+		if err != nil {
+			t.Fatalf("EnergyPerBit(%v): %v", r, err)
+		}
+		e := perBit * 1e9
 		if e < 10 || e > 100 {
 			t.Errorf("%v: %.1f nJ/bit outside the paper's 10–100 nJ/bit window", r, e)
 		}

@@ -46,35 +46,68 @@ type Channel struct {
 // String implements fmt.Stringer.
 func (c Channel) String() string { return fmt.Sprintf("ch%d (%d MHz)", c.Number, c.FreqMHz) }
 
-// WiFi24Channel returns 2.4 GHz WiFi channel n (1–13).
-func WiFi24Channel(n int) Channel {
+// NewWiFi24Channel validates and returns 2.4 GHz WiFi channel n (1–13).
+// Use it wherever the channel number comes from user or wire input (flags,
+// captures); the panicking WiFi24Channel is for in-code constants.
+func NewWiFi24Channel(n int) (Channel, error) {
 	if n < 1 || n > 13 {
-		panic(fmt.Sprintf("phy: invalid 2.4 GHz channel %d", n))
+		return Channel{}, fmt.Errorf("phy: invalid 2.4 GHz channel %d (want 1-13)", n)
 	}
-	return Channel{Number: n, FreqMHz: 2407 + 5*n}
+	return Channel{Number: n, FreqMHz: 2407 + 5*n}, nil
 }
 
-// WiFi5Channel returns 5 GHz WiFi channel n (e.g. 36, 40, ..., 165). One of
-// the advantages the paper claims for Wi-LE over BLE is access to the less
-// crowded 5 GHz band.
-func WiFi5Channel(n int) Channel {
+// WiFi24Channel returns 2.4 GHz WiFi channel n (1–13), panicking on an
+// invalid number: passing a bad constant is a programmer error.
+func WiFi24Channel(n int) Channel {
+	c, err := NewWiFi24Channel(n)
+	if err != nil {
+		panic(fmt.Sprintf("phy: %v", err))
+	}
+	return c
+}
+
+// NewWiFi5Channel validates and returns 5 GHz WiFi channel n (36–165). One
+// of the advantages the paper claims for Wi-LE over BLE is access to the
+// less crowded 5 GHz band.
+func NewWiFi5Channel(n int) (Channel, error) {
 	if n < 36 || n > 165 {
-		panic(fmt.Sprintf("phy: invalid 5 GHz channel %d", n))
+		return Channel{}, fmt.Errorf("phy: invalid 5 GHz channel %d (want 36-165)", n)
 	}
-	return Channel{Number: n, FreqMHz: 5000 + 5*n}
+	return Channel{Number: n, FreqMHz: 5000 + 5*n}, nil
 }
 
-// BLEAdvChannel returns BLE advertising channel 37, 38 or 39.
-func BLEAdvChannel(n int) Channel {
+// WiFi5Channel returns 5 GHz WiFi channel n (e.g. 36, 40, ..., 165),
+// panicking on an invalid number.
+func WiFi5Channel(n int) Channel {
+	c, err := NewWiFi5Channel(n)
+	if err != nil {
+		panic(fmt.Sprintf("phy: %v", err))
+	}
+	return c
+}
+
+// NewBLEAdvChannel validates and returns BLE advertising channel 37, 38
+// or 39.
+func NewBLEAdvChannel(n int) (Channel, error) {
 	switch n {
 	case 37:
-		return Channel{Number: 37, FreqMHz: 2402}
+		return Channel{Number: 37, FreqMHz: 2402}, nil
 	case 38:
-		return Channel{Number: 38, FreqMHz: 2426}
+		return Channel{Number: 38, FreqMHz: 2426}, nil
 	case 39:
-		return Channel{Number: 39, FreqMHz: 2480}
+		return Channel{Number: 39, FreqMHz: 2480}, nil
 	}
-	panic(fmt.Sprintf("phy: invalid BLE advertising channel %d", n))
+	return Channel{}, fmt.Errorf("phy: invalid BLE advertising channel %d (want 37-39)", n)
+}
+
+// BLEAdvChannel returns BLE advertising channel 37, 38 or 39, panicking on
+// an invalid number.
+func BLEAdvChannel(n int) Channel {
+	c, err := NewBLEAdvChannel(n)
+	if err != nil {
+		panic(fmt.Sprintf("phy: %v", err))
+	}
+	return c
 }
 
 // PathLoss models log-distance path loss with a reference distance of 1 m:

@@ -145,13 +145,15 @@ const (
 	bleCRCBytes           = 3
 )
 
-// FrameAirtime reports how long a PSDU of length octets occupies the radio
-// at rate r, including the PLCP preamble/header. This is the time the
+// Airtime reports how long a PSDU of length octets occupies the radio at
+// rate r, including the PLCP preamble/header. This is the time the
 // transmit amplifier is on — the quantity the paper's energy-per-packet
-// integrals multiply by the transmit power.
-func FrameAirtime(r Rate, octets int) time.Duration {
+// integrals multiply by the transmit power. A negative length or a Rate
+// with an unknown modulation (e.g. decoded from a malformed capture)
+// returns an error the caller can recover from.
+func Airtime(r Rate, octets int) (time.Duration, error) {
 	if octets < 0 {
-		panic(fmt.Sprintf("phy: negative frame length %d", octets))
+		return 0, fmt.Errorf("phy: negative frame length %d", octets)
 	}
 	bits := 8 * octets
 	switch r.Mod {
@@ -162,34 +164,51 @@ func FrameAirtime(r Rate, octets int) time.Duration {
 		}
 		// Payload time = bits / rate, exact in ns: kb/s == bits/ms.
 		payload := time.Duration(bits) * time.Millisecond / time.Duration(r.KbPerSec)
-		return pre + payload
+		return pre + payload, nil
 	case ModOFDM:
 		nsym := ceilDiv(serviceBits+bits+tailBits, r.BitsPerSymbol)
-		return ofdmPreamble + time.Duration(nsym)*ofdmSymbol + erpSignalExtension
+		return ofdmPreamble + time.Duration(nsym)*ofdmSymbol + erpSignalExtension, nil
 	case ModHT:
 		nsym := ceilDiv(serviceBits+bits+tailBits, r.BitsPerSymbol)
 		sym := htSymbolLGI
 		if r.ShortGI {
 			sym = htSymbolSGI
 		}
-		return htPreamble + time.Duration(nsym)*sym
+		return htPreamble + time.Duration(nsym)*sym, nil
 	case ModGFSK:
 		total := blePreambleBytes + bleAccessAddressBytes + bleHeaderBytes + octets + bleCRCBytes
-		return time.Duration(8*total) * time.Microsecond
+		return time.Duration(8*total) * time.Microsecond, nil
 	}
-	panic(fmt.Sprintf("phy: unknown modulation %v", r.Mod))
+	return 0, fmt.Errorf("phy: unknown modulation %v", r.Mod)
+}
+
+// FrameAirtime is Airtime for the simulation's hot paths, where the rate
+// comes from the package's own table and the length from an encoded frame:
+// invalid arguments there are programmer errors, so it panics instead of
+// returning an error. Code handling untrusted rates or lengths (capture
+// replay, decoders) should call Airtime.
+func FrameAirtime(r Rate, octets int) time.Duration {
+	d, err := Airtime(r, octets)
+	if err != nil {
+		panic(fmt.Sprintf("phy: FrameAirtime: %v", err))
+	}
+	return d
 }
 
 // EnergyPerBit reports the physical-layer transmit energy per payload bit in
 // joules, for a transmitter drawing txPowerW while the amplifier is on.
 // This reproduces the paper's §1 comparison (WiFi 10–100 nJ/bit vs BLE
 // 275–300 nJ/bit): the preamble and framing are amortized over the payload.
-func EnergyPerBit(r Rate, octets int, txPowerW float64) float64 {
+// A non-positive payload has no per-bit energy and returns an error.
+func EnergyPerBit(r Rate, octets int, txPowerW float64) (float64, error) {
 	if octets <= 0 {
-		panic("phy: EnergyPerBit needs a positive payload")
+		return 0, fmt.Errorf("phy: energy per bit needs a positive payload, have %d octets", octets)
 	}
-	t := FrameAirtime(r, octets).Seconds()
-	return t * txPowerW / float64(8*octets)
+	t, err := Airtime(r, octets)
+	if err != nil {
+		return 0, err
+	}
+	return t.Seconds() * txPowerW / float64(8*octets), nil
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }

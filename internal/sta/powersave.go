@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"fmt"
 	"time"
 
 	"wile/internal/dot11"
@@ -104,7 +105,9 @@ func (s *Station) startPollBurst() {
 
 func (s *Station) sendPSPoll() {
 	poll := &dot11.PSPoll{AID: s.AID, BSSID: s.bssid, Transmitter: s.Cfg.Addr}
-	s.Port.Send(poll, nil)
+	if err := s.Port.Send(poll, nil); err != nil {
+		panic(fmt.Sprintf("sta: %v", err)) // PS-Poll construction is under our control
+	}
 }
 
 func (s *Station) endPollBurst() {
