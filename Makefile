@@ -26,8 +26,12 @@ race:
 lab:
 	$(GO) run ./cmd/wile-lab -out results all
 
+# Benchmark trajectory: raw output under results/, plus the
+# machine-readable baseline future PRs diff ns/op and µJ/pkt against.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	mkdir -p results
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee results/bench_output.txt
+	$(GO) run ./scripts/benchjson -in results/bench_output.txt -out BENCH_baseline.json
 
 # Record the artifacts EXPERIMENTS.md references.
 artifacts:

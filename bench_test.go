@@ -21,12 +21,14 @@ import (
 
 	"wile"
 	"wile/internal/dot11"
+	"wile/internal/engine"
 	"wile/internal/experiment"
 )
 
 // --- Table 1 ---
 
 func BenchmarkTable1EnergyPerPacketWiLE(b *testing.B) {
+	b.ReportAllocs()
 	var energy float64
 	for i := 0; i < b.N; i++ {
 		ep, _, err := experiment.MeasureWiLE()
@@ -39,6 +41,7 @@ func BenchmarkTable1EnergyPerPacketWiLE(b *testing.B) {
 }
 
 func BenchmarkTable1EnergyPerPacketBLE(b *testing.B) {
+	b.ReportAllocs()
 	var energy float64
 	for i := 0; i < b.N; i++ {
 		ep, err := experiment.MeasureBLE()
@@ -51,6 +54,7 @@ func BenchmarkTable1EnergyPerPacketBLE(b *testing.B) {
 }
 
 func BenchmarkTable1EnergyPerPacketWiFiDC(b *testing.B) {
+	b.ReportAllocs()
 	var energy float64
 	for i := 0; i < b.N; i++ {
 		ep, err := experiment.MeasureWiFiDC()
@@ -63,6 +67,7 @@ func BenchmarkTable1EnergyPerPacketWiFiDC(b *testing.B) {
 }
 
 func BenchmarkTable1EnergyPerPacketWiFiPS(b *testing.B) {
+	b.ReportAllocs()
 	var energy float64
 	for i := 0; i < b.N; i++ {
 		ep, err := experiment.MeasureWiFiPS()
@@ -77,6 +82,7 @@ func BenchmarkTable1EnergyPerPacketWiFiPS(b *testing.B) {
 // --- Figure 3 ---
 
 func BenchmarkFig3aWiFiJoinTrace(b *testing.B) {
+	b.ReportAllocs()
 	var tr *experiment.Trace
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -93,6 +99,7 @@ func BenchmarkFig3aWiFiJoinTrace(b *testing.B) {
 }
 
 func BenchmarkFig3bWiLETrace(b *testing.B) {
+	b.ReportAllocs()
 	var tr *experiment.Trace
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -111,10 +118,14 @@ func BenchmarkFig4AveragePowerSweep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// The grid is pure setup: build it once so the timed region measures
+	// the Equation-1 sweep, not 300 time.Duration appends per iteration.
+	intervals := experiment.DefaultFig4Intervals()
 	var fig *experiment.Fig4Result
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fig = experiment.RunFig4(table, nil)
+		fig = experiment.RunFig4(table, intervals)
 	}
 	b.ReportMetric(fig.CrossoverDCPS.Seconds(), "crossover-s")
 	b.ReportMetric(float64(len(fig.Series[0].Points)), "points/series")
@@ -123,6 +134,7 @@ func BenchmarkFig4AveragePowerSweep(b *testing.B) {
 // --- §3.1 claims ---
 
 func BenchmarkClaimsJoinFrameCount(b *testing.B) {
+	b.ReportAllocs()
 	var c *experiment.ClaimsResult
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -171,6 +183,7 @@ func BenchmarkAblationJitterStudy(b *testing.B) {
 
 func BenchmarkBeaconBuildAndMarshal(b *testing.B) {
 	msg := &wile.Message{DeviceID: 1, Seq: 1, Readings: []wile.Reading{wile.Temperature(17)}}
+	var scratch []byte
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		msg.Seq = uint16(i)
@@ -178,7 +191,8 @@ func BenchmarkBeaconBuildAndMarshal(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := dot11.Marshal(beacon); err != nil {
+		scratch, err = dot11.AppendMarshal(scratch[:0], beacon)
+		if err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -287,4 +301,65 @@ func BenchmarkAblationGoodput(b *testing.B) {
 	}
 	b.ReportMetric(res.WiLEJoulesPerByte*1e6, "wile-µJ/B")
 	b.ReportMetric(res.BLEJoulesPerByte*1e6, "ble-µJ/B")
+}
+
+// --- Engine speedup pairs ---
+//
+// Each pair runs the same sweep on the serial reference pool and on a
+// parallel pool, so results/bench_output.txt (and BENCH_baseline.json's
+// derived speedups) record how much of the machine the engine converts
+// into wall-clock. On a single-core runner the pair reads ≈1×; the
+// determinism tests guarantee the outputs are byte-identical either way.
+
+func benchFig4Sweep(b *testing.B, p *engine.Pool) {
+	prev := experiment.SetPool(p)
+	defer experiment.SetPool(prev)
+	table, err := experiment.RunTable1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	intervals := experiment.DefaultFig4Intervals()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.RunFig4(table, intervals)
+	}
+}
+
+func BenchmarkEngineFig4Sweep(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchFig4Sweep(b, engine.Serial()) })
+	b.Run("parallel", func(b *testing.B) { benchFig4Sweep(b, engine.New(0)) })
+}
+
+func benchJitterSweep(b *testing.B, p *engine.Pool) {
+	prev := experiment.SetPool(p)
+	defer experiment.SetPool(prev)
+	ppms := []float64{0, 10, 40, 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.RunJitterStudy(ppms, 50)
+	}
+}
+
+func BenchmarkEngineJitterSweep(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchJitterSweep(b, engine.Serial()) })
+	b.Run("parallel", func(b *testing.B) { benchJitterSweep(b, engine.New(0)) })
+}
+
+func benchTable1(b *testing.B, p *engine.Pool) {
+	prev := experiment.SetPool(p)
+	defer experiment.SetPool(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunTable1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineTable1(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchTable1(b, engine.Serial()) })
+	b.Run("parallel", func(b *testing.B) { benchTable1(b, engine.New(0)) })
 }

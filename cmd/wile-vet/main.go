@@ -11,24 +11,30 @@
 //
 // Usage:
 //
-//	wile-vet [-list] [packages]
+//	wile-vet [-list] [-json] [packages]
 //
 // Packages default to ./... relative to the current directory. The exit
 // status is 1 when any diagnostic is reported, so "make lint" fails the
-// build. Individual lines are exempted with a "//wile:allow <analyzer>"
-// comment on the offending line (or the line above); see DESIGN.md.
+// build. With -json, diagnostics are emitted as a JSON array (an empty
+// array when the tree is clean) with paths relative to the working
+// directory, so CI can turn them into per-line annotations. Individual
+// lines are exempted with a "//wile:allow <analyzer>" comment on the
+// offending line (or the line above); see DESIGN.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"wile/internal/analysis"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	flag.Parse()
 	if *list {
 		for _, a := range analysis.Analyzers() {
@@ -50,12 +56,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wile-vet:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		buf, err := json.MarshalIndent(toJSON(cwd, diags), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wile-vet:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(buf))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonDiagnostic is the -json wire format, one object per finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// toJSON converts diagnostics for machine consumption, relativizing file
+// paths against dir so CI annotations resolve inside the checkout. The
+// result is never nil, so a clean run marshals as [] rather than null.
+func toJSON(dir string, diags []analysis.Diagnostic) []jsonDiagnostic {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(dir, file); err == nil {
+			file = rel
+		}
+		out = append(out, jsonDiagnostic{
+			File:     filepath.ToSlash(file),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
 }
 
 // vet loads the packages matched by patterns (resolved against dir) and

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"wile/internal/analysis"
@@ -27,6 +29,50 @@ func TestKnownBadFixture(t *testing.T) {
 		if counts[a.Name] != 1 {
 			t.Errorf("analyzer %s fired %d times, want exactly 1", a.Name, counts[a.Name])
 		}
+	}
+}
+
+// TestJSONOutput checks the -json wire format: relative slash-separated
+// paths, 1-based positions, one object per diagnostic, and a non-null
+// empty array for a clean run.
+func TestJSONOutput(t *testing.T) {
+	diags, err := vet(".", []string{"../../internal/analysis/testdata/knownbad"})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	buf, err := json.Marshal(toJSON(".", diags))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded []jsonDiagnostic
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(decoded) != len(diags) {
+		t.Fatalf("got %d JSON diagnostics, want %d", len(decoded), len(diags))
+	}
+	for _, d := range decoded {
+		if d.File == "" || d.Line <= 0 || d.Column <= 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if strings.Contains(d.File, "\\") {
+			t.Errorf("path %q not slash-separated", d.File)
+		}
+		if !strings.Contains(d.File, "knownbad") {
+			t.Errorf("path %q does not point into the fixture", d.File)
+		}
+	}
+	// Clean runs must serialize as [], never null, so jq iteration in CI
+	// does not need a null guard.
+	clean, err := json.Marshal(toJSON(".", nil))
+	if err != nil {
+		t.Fatalf("marshal empty: %v", err)
+	}
+	if string(clean) != "[]" {
+		t.Errorf("clean run serializes as %s, want []", clean)
 	}
 }
 

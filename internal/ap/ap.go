@@ -470,7 +470,7 @@ func (a *AP) handleARP(src dot11.MAC, st *stationState, payload []byte) {
 		return
 	}
 	a.Stats.ARPReplies++
-	a.sched.After(a.Cfg.ARPDelay, func() {
+	a.sched.DoAfter(a.Cfg.ARPDelay, func() {
 		a.sendDownlink(src, a.Cfg.BSSID, netstack.WrapSNAP(netstack.EtherTypeARP, rep.Append(nil)))
 	})
 }
@@ -494,7 +494,7 @@ func (a *AP) handleIPv4(src dot11.MAC, st *stationState, payload []byte) {
 			return
 		}
 		a.Stats.DHCPReplies++
-		a.sched.After(a.Cfg.DHCPDelay, func() { a.sendDHCP(src, reply) })
+		a.sched.DoAfter(a.Cfg.DHCPDelay, func() { a.sendDHCP(src, reply) })
 		return
 	}
 	// If the destination IP belongs to another associated station, the AP

@@ -88,7 +88,7 @@ func (a *Advertiser) scheduleEvent() {
 	}
 	// advInterval + advDelay (0–10 ms pseudo-random, per Core 4.2).
 	delay := a.Cfg.Interval + time.Duration(a.rng.Intn(10_000))*time.Microsecond
-	a.sched.After(delay, func() {
+	a.sched.DoAfter(delay, func() {
 		a.transmitEvent()
 		a.scheduleEvent()
 	})
@@ -110,7 +110,7 @@ func (a *Advertiser) transmitEvent() {
 		a.trx[i].SetOn(true)
 		a.meds[i].Transmit(a.trx[i], onAir, phy.RateBLE1M)
 		a.Stats.PDUs++
-		a.sched.After(interPDUGap, func() {
+		a.sched.DoAfter(interPDUGap, func() {
 			a.trx[i].SetOn(false)
 			step(i + 1)
 		})

@@ -150,7 +150,7 @@ func (d *Device) PlayConnectionEvent(done func()) {
 			return
 		}
 		d.setCurrent(phases[i].CurrentA)
-		d.sched.After(phases[i].D, func() { run(i + 1) })
+		d.sched.DoAfter(phases[i].D, func() { run(i + 1) })
 	}
 	run(0)
 }
@@ -162,8 +162,8 @@ func (d *Device) RunPeriodic(interval time.Duration) {
 	var tick func()
 	tick = func() {
 		d.PlayConnectionEvent(func() {
-			d.sched.After(interval-ConnectionEventDuration(), tick)
+			d.sched.DoAfter(interval-ConnectionEventDuration(), tick)
 		})
 	}
-	d.sched.After(interval, tick)
+	d.sched.DoAfter(interval, tick)
 }

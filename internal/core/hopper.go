@@ -66,7 +66,7 @@ func (h *ChannelHopper) Stop() {
 }
 
 func (h *ChannelHopper) scheduleHop() {
-	h.sched.After(h.Dwell, func() {
+	h.sched.DoAfter(h.Dwell, func() {
 		if !h.running {
 			return
 		}

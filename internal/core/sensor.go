@@ -174,7 +174,7 @@ func (s *Sensor) TransmitOnce(readings []Reading, done func(ok bool)) {
 				// §6: hold the radio on for the announced window so a
 				// base station can inject a response.
 				s.windowOpen = true
-				s.sched.After(s.Cfg.RxWindow, func() {
+				s.sched.DoAfter(s.Cfg.RxWindow, func() {
 					s.windowOpen = false
 					s.sleep()
 					finish(ok)
@@ -238,7 +238,7 @@ func (s *Sensor) scheduleNext() {
 		return
 	}
 	interval := time.Duration(float64(s.Cfg.Period) * s.rng.Jitter(s.Cfg.JitterPPM))
-	s.sched.After(interval, func() {
+	s.sched.DoAfter(interval, func() {
 		if !s.running {
 			return
 		}

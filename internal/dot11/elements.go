@@ -71,19 +71,28 @@ func (es Elements) Append(dst []byte) ([]byte, error) {
 // gopacket NoCopy style; callers that retain them past the buffer's
 // lifetime must copy.
 func ParseElements(b []byte) (Elements, error) {
-	var es Elements
+	return ParseElementsInto(nil, b)
+}
+
+// ParseElementsInto decodes a TLV list appending onto es, reusing its
+// capacity. Decode passes a recycled frame's Elements sliced to zero
+// length, which makes steady-state element parsing allocation-free; the
+// parsed elements alias b exactly as with ParseElements. On error es is
+// returned unchanged so the caller's slice stays valid.
+func ParseElementsInto(es Elements, b []byte) (Elements, error) {
+	out := es
 	for len(b) > 0 {
 		if len(b) < 2 {
-			return nil, fmt.Errorf("%w: element header needs 2 bytes, have %d", errTruncated, len(b))
+			return es, fmt.Errorf("%w: element header needs 2 bytes, have %d", errTruncated, len(b))
 		}
 		id, n := ElementID(b[0]), int(b[1])
 		if len(b) < 2+n {
-			return nil, fmt.Errorf("%w: element %d claims %d info bytes, have %d", errTruncated, id, n, len(b)-2)
+			return es, fmt.Errorf("%w: element %d claims %d info bytes, have %d", errTruncated, id, n, len(b)-2)
 		}
-		es = append(es, Element{ID: id, Info: b[2 : 2+n]})
+		out = append(out, Element{ID: id, Info: b[2 : 2+n]})
 		b = b[2+n:]
 	}
-	return es, nil
+	return out, nil
 }
 
 // Find returns the first element with the given ID.

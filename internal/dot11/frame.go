@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 )
 
 // Header is the MAC header shared by management and data frames (24 bytes
@@ -70,20 +71,33 @@ type Frame interface {
 	// AppendTo serializes the frame (without FCS) onto dst.
 	AppendTo(dst []byte) ([]byte, error)
 	// DecodeFromBytes parses the frame (without FCS) from b, overwriting
-	// the receiver. Decoded slices alias b.
+	// the receiver and reusing its element capacity. Decoded slices
+	// alias b.
 	DecodeFromBytes(b []byte) error
 }
 
 // FCS computes the IEEE CRC-32 frame check sequence over b.
 func FCS(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
 
-// Marshal serializes f and appends the FCS, producing the on-air MPDU.
-func Marshal(f Frame) ([]byte, error) {
-	b, err := f.AppendTo(nil)
+// AppendMarshal serializes f onto dst and appends the FCS, producing the
+// on-air MPDU after whatever dst already holds. Passing a reused scratch
+// buffer (typically scratch[:0]) makes repeated marshals allocation-free
+// once the buffer has grown to frame size. The FCS covers only the bytes
+// appended by this call, so frames can be batched back to back in one
+// buffer.
+func AppendMarshal(dst []byte, f Frame) ([]byte, error) {
+	start := len(dst)
+	b, err := f.AppendTo(dst)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	return binary.LittleEndian.AppendUint32(b, FCS(b)), nil
+	return binary.LittleEndian.AppendUint32(b, FCS(b[start:])), nil
+}
+
+// Marshal serializes f and appends the FCS, producing the on-air MPDU in
+// a fresh buffer.
+func Marshal(f Frame) ([]byte, error) {
+	return AppendMarshal(nil, f)
 }
 
 // ErrFCS is returned by Decode when the frame check sequence does not
@@ -118,14 +132,52 @@ func DecodeNoFCS(b []byte) (Frame, error) {
 		return nil, fmt.Errorf("%w: need frame control, have %d bytes", errTruncated, len(b))
 	}
 	fc := ParseFrameControl(binary.LittleEndian.Uint16(b))
-	f, err := newFrame(fc.Kind())
+	f, err := getFrame(fc.Kind())
 	if err != nil {
 		return nil, err
 	}
 	if err := f.DecodeFromBytes(b); err != nil {
+		Release(f)
 		return nil, err
 	}
 	return f, nil
+}
+
+// framePools recycles decoded frame values per kind. Decoding is the
+// per-reception hot path the parallel experiment engine multiplies across
+// workers; recycling the frame struct (and, for management frames, its
+// Elements backing array) keeps the receive path's steady-state
+// allocation at zero. The pools only fill through Release, so call sites
+// that never release see exactly the old allocate-per-decode behavior.
+var framePools [3][16]sync.Pool
+
+// getFrame returns a recycled frame of the right concrete type, or a
+// fresh one when the pool is empty.
+func getFrame(k Kind) (Frame, error) {
+	if int(k.Type) < len(framePools) && int(k.Subtype) < len(framePools[0]) {
+		if v := framePools[k.Type][k.Subtype].Get(); v != nil {
+			return v.(Frame), nil
+		}
+	}
+	return newFrame(k)
+}
+
+// Release returns a frame obtained from Decode/DecodeNoFCS to the decode
+// pool. Callers may only release frames they are provably done with:
+// after Release neither the frame nor anything aliasing it (Elements,
+// payload slices) may be touched, because the next Decode of the same
+// kind will overwrite them in place. Releasing nil is a no-op. Frames
+// handed to user callbacks or retained in state machines must never be
+// released.
+func Release(f Frame) {
+	if f == nil {
+		return
+	}
+	k := f.Kind()
+	if int(k.Type) >= len(framePools) || int(k.Subtype) >= len(framePools[0]) {
+		return
+	}
+	framePools[k.Type][k.Subtype].Put(f)
 }
 
 func newFrame(k Kind) (Frame, error) {

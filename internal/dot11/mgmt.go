@@ -63,7 +63,7 @@ func (f *Beacon) DecodeFromBytes(b []byte) error {
 	f.Interval = binary.LittleEndian.Uint16(body[8:])
 	f.Capability = Capability(binary.LittleEndian.Uint16(body[10:]))
 	var err error
-	f.Elements, err = ParseElements(body[12:])
+	f.Elements, err = ParseElementsInto(f.Elements[:0], body[12:])
 	return err
 }
 
@@ -104,7 +104,7 @@ func (f *ProbeReq) DecodeFromBytes(b []byte) error {
 		return err
 	}
 	var err error
-	f.Elements, err = ParseElements(b[mgmtHeaderLen:])
+	f.Elements, err = ParseElementsInto(f.Elements[:0], b[mgmtHeaderLen:])
 	return err
 }
 
@@ -149,7 +149,7 @@ func (f *ProbeResp) DecodeFromBytes(b []byte) error {
 	f.Interval = binary.LittleEndian.Uint16(body[8:])
 	f.Capability = Capability(binary.LittleEndian.Uint16(body[10:]))
 	var err error
-	f.Elements, err = ParseElements(body[12:])
+	f.Elements, err = ParseElementsInto(f.Elements[:0], body[12:])
 	return err
 }
 
@@ -217,7 +217,7 @@ func (f *Auth) DecodeFromBytes(b []byte) error {
 	f.Seq = binary.LittleEndian.Uint16(body[2:])
 	f.Status = StatusCode(binary.LittleEndian.Uint16(body[4:]))
 	var err error
-	f.Elements, err = ParseElements(body[6:])
+	f.Elements, err = ParseElementsInto(f.Elements[:0], body[6:])
 	return err
 }
 
@@ -260,7 +260,7 @@ func (f *AssocReq) DecodeFromBytes(b []byte) error {
 	f.Capability = Capability(binary.LittleEndian.Uint16(body))
 	f.ListenInterval = binary.LittleEndian.Uint16(body[2:])
 	var err error
-	f.Elements, err = ParseElements(body[4:])
+	f.Elements, err = ParseElementsInto(f.Elements[:0], body[4:])
 	return err
 }
 
@@ -306,7 +306,7 @@ func (f *AssocResp) DecodeFromBytes(b []byte) error {
 	f.Status = StatusCode(binary.LittleEndian.Uint16(body[2:]))
 	f.AID = binary.LittleEndian.Uint16(body[4:]) &^ 0xc000
 	var err error
-	f.Elements, err = ParseElements(body[6:])
+	f.Elements, err = ParseElementsInto(f.Elements[:0], body[6:])
 	return err
 }
 

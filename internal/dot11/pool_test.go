@@ -1,0 +1,147 @@
+package dot11
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testBeacon(seq uint16, payload byte) *Beacon {
+	b := NewBeacon(MAC{2, 0, 0, 0, 0, 1}, 100, CapESS, Elements{
+		SSIDElement(""),
+		DefaultRates(),
+		DSParamElement(6),
+		{ID: ElementVendor, Info: []byte{0x52, 0x49, 0x4c, payload, payload}},
+	})
+	b.Header.Sequence = seq
+	return b
+}
+
+func TestAppendMarshalMatchesMarshal(t *testing.T) {
+	f := testBeacon(7, 0xaa)
+	plain, err := Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended, err := AppendMarshal(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, appended) {
+		t.Fatal("AppendMarshal(nil, f) differs from Marshal(f)")
+	}
+	// Appending after a prefix must leave the prefix intact and put a
+	// valid MPDU (FCS covering only the new bytes) after it.
+	prefix := []byte{0xde, 0xad}
+	buf, err := AppendMarshal(append([]byte(nil), prefix...), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:2], prefix) {
+		t.Fatal("AppendMarshal clobbered the prefix")
+	}
+	if !bytes.Equal(buf[2:], plain) {
+		t.Fatal("AppendMarshal after prefix differs from standalone marshal")
+	}
+	if _, err := Decode(buf[2:]); err != nil {
+		t.Fatalf("FCS over appended region invalid: %v", err)
+	}
+}
+
+func TestAppendMarshalSteadyStateAllocFree(t *testing.T) {
+	f := testBeacon(1, 0x17)
+	scratch, err := AppendMarshal(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		scratch, err = AppendMarshal(scratch[:0], f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendMarshal into warm scratch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestDecodeReleaseRecyclesCorrectly(t *testing.T) {
+	// A recycled frame must decode the next MPDU exactly as a fresh one
+	// would, including when the element list shrinks or grows across
+	// reuses (ParseElementsInto truncates before appending).
+	long, err := Marshal(testBeacon(1, 0x11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Marshal(NewBeacon(MAC{2, 0, 0, 0, 0, 9}, 100, 0, Elements{SSIDElement("x")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		raw := long
+		wantElems := 4
+		if i%2 == 1 {
+			raw = short
+			wantElems = 1
+		}
+		f, err := Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, ok := f.(*Beacon)
+		if !ok {
+			t.Fatalf("decoded %T, want *Beacon", f)
+		}
+		if len(bc.Elements) != wantElems {
+			t.Fatalf("iteration %d: %d elements, want %d", i, len(bc.Elements), wantElems)
+		}
+		reencoded, err := Marshal(bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reencoded, raw) {
+			t.Fatalf("iteration %d: recycled frame did not round-trip", i)
+		}
+		Release(f)
+	}
+	// Releasing nil must be a no-op.
+	Release(nil)
+}
+
+func TestDecodeAfterReleaseAllocFree(t *testing.T) {
+	raw, err := Marshal(testBeacon(3, 0x42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pool for this kind.
+	f, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Release(f)
+	allocs := testing.AllocsPerRun(200, func() {
+		f, err := Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Release(f)
+	})
+	// Steady state: the frame struct and its Elements array both come from
+	// the pool. Allow a fraction for sync.Pool's occasional GC-driven
+	// refill, but the amortized cost must be near zero.
+	if allocs > 0.5 {
+		t.Fatalf("Decode+Release allocates %.2f objects/op in steady state, want ~0", allocs)
+	}
+}
+
+func TestParseElementsIntoKeepsCallerSliceOnError(t *testing.T) {
+	es := Elements{SSIDElement("keep")}
+	// Truncated element: claims 5 info bytes, provides 1.
+	got, err := ParseElementsInto(es, []byte{0, 5, 'x'})
+	if err == nil {
+		t.Fatal("expected truncation error")
+	}
+	if len(got) != 1 || string(got[0].Info) != "keep" {
+		t.Fatalf("error path returned %v, want the original slice", got)
+	}
+}

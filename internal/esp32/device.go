@@ -185,7 +185,7 @@ func (d *Device) RadioTx(airtime time.Duration) {
 		d.txUntil = until
 	}
 	d.setCurrent(TxBurstCurrentA)
-	d.sched.At(until, func() {
+	d.sched.DoAt(until, func() {
 		if d.sched.Now() >= d.txUntil {
 			d.setCurrent(d.effectiveCurrent())
 		}
@@ -242,7 +242,7 @@ func (d *Device) PlaySegments(segs []Segment, done func()) {
 			d.MarkPhase(s.Label)
 		}
 		d.setCurrent(s.CurrentA)
-		d.sched.After(s.D, func() { run(i + 1) })
+		d.sched.DoAfter(s.D, func() { run(i + 1) })
 	}
 	run(0)
 }

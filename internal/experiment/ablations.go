@@ -9,6 +9,7 @@ import (
 	"wile/internal/core"
 	"wile/internal/dot11"
 	"wile/internal/energy"
+	"wile/internal/engine"
 	"wile/internal/esp32"
 	"wile/internal/medium"
 	"wile/internal/phy"
@@ -42,12 +43,12 @@ func RunBitrateAblation() ([]BitratePoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]BitratePoint, 0, len(phy.WiFiRates))
-	for _, r := range phy.WiFiRates {
+	out := engine.MapValues(Pool(), len(phy.WiFiRates), func(i int) BitratePoint {
+		r := phy.WiFiRates[i]
 		airtime := phy.FrameAirtime(r, len(raw))
 		e := esp32.TxBurstCurrentA * esp32.VoltageV * (esp32.TxRampUp + airtime).Seconds()
-		out = append(out, BitratePoint{Rate: r, Airtime: airtime, EnergyJ: e})
-	}
+		return BitratePoint{Rate: r, Airtime: airtime, EnergyJ: e}
+	})
 	return out, nil
 }
 
@@ -81,8 +82,8 @@ func RunPayloadAblation(sizes []int) ([]PayloadPoint, error) {
 			sizes = append(sizes, n)
 		}
 	}
-	out := make([]PayloadPoint, 0, len(sizes))
-	for _, n := range sizes {
+	return engine.Map(Pool(), len(sizes), func(i int) (PayloadPoint, error) {
+		n := sizes[i]
 		var readings []core.Reading
 		remaining := n
 		for remaining > 0 {
@@ -96,22 +97,21 @@ func RunPayloadAblation(sizes []int) ([]PayloadPoint, error) {
 		msg := &core.Message{DeviceID: 1, Seq: 1, Readings: readings}
 		beacon, err := core.BuildBeacon(dot11.LocalMAC(1), 6, msg, nil)
 		if err != nil {
-			return nil, err
+			return PayloadPoint{}, err
 		}
 		raw, err := dot11.Marshal(beacon)
 		if err != nil {
-			return nil, err
+			return PayloadPoint{}, err
 		}
 		airtime := phy.FrameAirtime(phy.RateHTMCS7SGI, len(raw))
-		out = append(out, PayloadPoint{
+		return PayloadPoint{
 			PayloadBytes: n,
 			Fragments:    len(beacon.Elements.Vendors(core.OUI)),
 			BeaconBytes:  len(raw),
 			Airtime:      airtime,
 			EnergyJ:      esp32.TxBurstCurrentA * esp32.VoltageV * (esp32.TxRampUp + airtime).Seconds(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // --- Listen-interval ablation (WiFi-PS idle current) ---
@@ -139,11 +139,10 @@ func WiFiPSIdleModel(listenInterval int) float64 {
 
 // RunListenIntervalAblation sweeps LI 1..10.
 func RunListenIntervalAblation() []ListenIntervalPoint {
-	out := make([]ListenIntervalPoint, 0, 10)
-	for li := 1; li <= 10; li++ {
-		out = append(out, ListenIntervalPoint{ListenInterval: li, IdleCurrentA: WiFiPSIdleModel(li)})
-	}
-	return out
+	return engine.MapValues(Pool(), 10, func(i int) ListenIntervalPoint {
+		li := i + 1
+		return ListenIntervalPoint{ListenInterval: li, IdleCurrentA: WiFiPSIdleModel(li)}
+	})
 }
 
 // --- Jitter/collision study (§6) ---
@@ -181,8 +180,12 @@ func RunJitterStudy(ppms []float64, cycles int) []JitterPoint {
 		cycles = 200
 	}
 	period := 10 * time.Second
-	out := make([]JitterPoint, 0, len(ppms))
-	for _, ppm := range ppms {
+	// Each tolerance setting simulates its own world on its own kernel, so
+	// the sweep shards across engine workers without the points seeing each
+	// other. Seeds are per-sensor constants, not scheduling-dependent, which
+	// keeps the parallel run byte-identical to the serial one.
+	return engine.MapValues(Pool(), len(ppms), func(pi int) JitterPoint {
+		ppm := ppms[pi]
 		w := newWorld()
 		for i := 0; i < 2; i++ {
 			s := core.NewSensor(w.sched, w.med, core.SensorConfig{
@@ -213,7 +216,7 @@ func RunJitterStudy(ppms []float64, cycles int) []JitterPoint {
 				contended++
 			}
 		}
-		out = append(out, JitterPoint{
+		return JitterPoint{
 			PPM:             ppm,
 			Cycles:          cycles,
 			Delivered:       delivered,
@@ -221,9 +224,8 @@ func RunJitterStudy(ppms []float64, cycles int) []JitterPoint {
 			Collisions:      w.med.Stats.Collisions,
 			ContendedCycles: contended,
 			DeliveryRate:    float64(delivered) / float64(2*cycles),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // --- Hidden-SSID overhead ---
@@ -276,14 +278,13 @@ type BatteryPoint struct {
 // RunBatteryProjection estimates coin-cell life at the given reporting
 // interval from the measured Table-1 episodes.
 func RunBatteryProjection(table *Table1Result, interval time.Duration) []BatteryPoint {
-	out := make([]BatteryPoint, 0, len(table.Rows))
-	for _, sc := range table.Scenarios() {
-		out = append(out, BatteryPoint{
-			Name: sc.Name,
-			Life: sc.BatteryLife(energy.CR2032CapacityMAh, interval),
-		})
-	}
-	return out
+	scenarios := table.Scenarios()
+	return engine.MapValues(Pool(), len(scenarios), func(i int) BatteryPoint {
+		return BatteryPoint{
+			Name: scenarios[i].Name,
+			Life: scenarios[i].BatteryLife(energy.CR2032CapacityMAh, interval),
+		}
+	})
 }
 
 // jitterOrNone maps the study's 0-ppm point to the sensor config's
@@ -317,8 +318,11 @@ func RunHopperStudy(channelCounts []int) []HopperPoint {
 	const period = time.Second
 	const dwell = 250 * time.Millisecond
 	const cycles = 120
-	out := make([]HopperPoint, 0, len(channelCounts))
-	for _, n := range channelCounts {
+	// One engine point per channel count: each builds its own kernel,
+	// media, sensors and hopper, so the heaviest ablation sweeps in
+	// parallel without any cross-point state.
+	return engine.MapValues(Pool(), len(channelCounts), func(pi int) HopperPoint {
+		n := channelCounts[pi]
 		sched := sim.New()
 		var scanners []*core.Scanner
 		transmitted := 0
@@ -342,15 +346,14 @@ func RunHopperStudy(channelCounts []int) []HopperPoint {
 		hopper.Stop()
 		transmitted = n * (cycles - 1)
 		captured := hopper.Messages()
-		out = append(out, HopperPoint{
+		return HopperPoint{
 			Channels:    n,
 			Dwell:       dwell,
 			Transmitted: transmitted,
 			Captured:    captured,
 			CaptureRate: float64(captured) / float64(transmitted),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // --- Channel capacity (§6 "network of IoT devices") ---
@@ -500,9 +503,9 @@ func RunInterferenceStudy(duties []float64) []InterferencePoint {
 			var tick func()
 			tick = func() {
 				w.med.Transmit(jam, junk, phy.RateDSSS1)
-				w.sched.After(burstPeriod, tick)
+				w.sched.DoAfter(burstPeriod, tick)
 			}
-			w.sched.After(burstPeriod, tick)
+			w.sched.DoAfter(burstPeriod, tick)
 		}
 
 		sensor.Run()
@@ -517,17 +520,18 @@ func RunInterferenceStudy(duties []float64) []InterferencePoint {
 		}
 		return point
 	}
+	// The clean-channel baseline is shared by every point, so it runs once
+	// up front; the duty sweep then shards. run builds a fresh world per
+	// call, so concurrent points never touch the same kernel.
 	baseline := run(0).MeanDelay
-	out := make([]InterferencePoint, 0, len(duties))
-	for _, duty := range duties {
-		p := run(duty)
+	return engine.MapValues(Pool(), len(duties), func(i int) InterferencePoint {
+		p := run(duties[i])
 		p.MeanDelay -= baseline
 		if p.MeanDelay < 0 {
 			p.MeanDelay = 0
 		}
-		out = append(out, p)
-	}
-	return out
+		return p
+	})
 }
 
 // --- Carrier-frame ablation (why beacons, §4) ---

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"wile/internal/engine"
+)
+
+// renderSweeps runs every engine-backed sweep and serializes the results
+// into one byte stream. Any scheduling leak — a shared PRNG, a
+// completion-order merge, a point reading another point's world — shows
+// up as a byte difference between runs.
+func renderSweeps(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	table, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4 := RunFig4(table, nil)
+	if err := fig4.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "crossover %v\n", fig4.CrossoverDCPS)
+	bitrate, err := RunBitrateAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := RunPayloadAblation([]int{16, 120, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "%+v\n%+v\n", bitrate, payload)
+	fmt.Fprintf(&buf, "%+v\n", RunListenIntervalAblation())
+	fmt.Fprintf(&buf, "%+v\n", RunJitterStudy([]float64{0, 40}, 50))
+	fmt.Fprintf(&buf, "%+v\n", RunHopperStudy([]int{1, 2}))
+	fmt.Fprintf(&buf, "%+v\n", RunInterferenceStudy([]float64{0, 0.5}))
+	fmt.Fprintf(&buf, "%+v\n", RunBatteryProjection(table, time.Minute))
+	return buf.Bytes()
+}
+
+// TestSweepsByteIdenticalAcrossPoolsAndProcs is the tentpole's acceptance
+// gate: for a fixed seed the engine-backed sweeps must produce
+// byte-identical output on the serial reference pool and on a parallel
+// pool, at GOMAXPROCS 1 and 4. Completion order genuinely varies between
+// these runs; the merged bytes must not.
+func TestSweepsByteIdenticalAcrossPoolsAndProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every sweep four times")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var reference []byte
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, pc := range []struct {
+			name string
+			pool *engine.Pool
+		}{
+			{"serial", engine.Serial()},
+			{"parallel4", engine.New(4)},
+		} {
+			prev := SetPool(pc.pool)
+			got := renderSweeps(t)
+			SetPool(prev)
+			if reference == nil {
+				reference = got
+				continue
+			}
+			if !bytes.Equal(got, reference) {
+				t.Fatalf("GOMAXPROCS=%d pool=%s: sweep output differs from serial reference (%d vs %d bytes)",
+					procs, pc.name, len(got), len(reference))
+			}
+		}
+	}
+}
+
+// TestSetPoolSwapsAndRestores pins the SetPool contract the benchmarks
+// and the test above rely on.
+func TestSetPoolSwapsAndRestores(t *testing.T) {
+	serial := engine.Serial()
+	prev := SetPool(serial)
+	if Pool() != serial {
+		t.Fatal("SetPool did not install the new pool")
+	}
+	if got := SetPool(prev); got != serial {
+		t.Fatal("SetPool did not return the displaced pool")
+	}
+	if Pool() != prev {
+		t.Fatal("pool not restored")
+	}
+}

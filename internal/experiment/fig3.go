@@ -42,11 +42,12 @@ func RunFig3a() (*Trace, error) {
 	station := w.newStation()
 	dev := station.Dev
 	m := meter.New(w.sched, dev, meter.DefaultSampleRate)
+	m.Reserve(figureWindow)
 	m.Start()
 
 	var joinErr error
 	var txOK *bool
-	w.sched.After(preSleep, func() {
+	w.sched.DoAfter(preSleep, func() {
 		dev.SetState(esp32.StateCPUActive)
 		dev.PlaySegments(esp32.BootWiFi(), func() {
 			station.Join(func(err error) {
@@ -91,9 +92,10 @@ func RunFig3b() (*Trace, error) {
 	scanner.OnMessage = func(*core.Message, core.Meta) { received = true }
 
 	m := meter.New(w.sched, sensor.Dev, meter.DefaultSampleRate)
+	m.Reserve(figureWindow)
 	m.Start()
 	var txOK *bool
-	w.sched.After(preSleep, func() {
+	w.sched.DoAfter(preSleep, func() {
 		sensor.Dev.MarkPhase("Wake")
 		sensor.TransmitOnce([]core.Reading{core.Temperature(17.0)}, func(ok bool) { txOK = &ok })
 	})

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wile/internal/energy"
+	"wile/internal/engine"
 )
 
 // Fig4Point is one (interval, power) sample of one curve.
@@ -41,23 +42,24 @@ func DefaultFig4Intervals() []time.Duration {
 }
 
 // RunFig4 evaluates Equation 1 over the sweep using the measured Table-1
-// episodes.
+// episodes. The interval grid is built once up front and each technology's
+// curve is one engine point with its Points slice sized exactly — the
+// curves are independent, so they shard across workers and merge back in
+// the paper's series order.
 func RunFig4(table *Table1Result, intervals []time.Duration) *Fig4Result {
 	if len(intervals) == 0 {
 		intervals = DefaultFig4Intervals()
 	}
 	scenarios := table.Scenarios()
 	res := &Fig4Result{}
-	for _, sc := range scenarios {
-		series := Fig4Series{Name: sc.Name}
-		for _, interval := range intervals {
-			series.Points = append(series.Points, Fig4Point{
-				Interval: interval,
-				PowerW:   sc.AveragePowerW(interval),
-			})
+	res.Series = engine.MapValues(Pool(), len(scenarios), func(i int) Fig4Series {
+		sc := scenarios[i]
+		pts := make([]Fig4Point, len(intervals))
+		for j, interval := range intervals {
+			pts[j] = Fig4Point{Interval: interval, PowerW: sc.AveragePowerW(interval)}
 		}
-		res.Series = append(res.Series, series)
-	}
+		return Fig4Series{Name: sc.Name, Points: pts}
+	})
 	res.CrossoverDCPS = findCrossover(scenarios)
 	return res
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wile/internal/energy"
+	"wile/internal/engine"
 )
 
 // Table1Row is one technology's measured column of Table 1.
@@ -37,37 +38,66 @@ type Table1Result struct {
 	WiLEFullCycleJ float64
 }
 
-// RunTable1 measures all four scenarios.
+// RunTable1 measures all four scenarios, one engine point each. Every
+// measurement builds its own sim world, so the rows are independent and
+// shard cleanly; the merged result is row-for-row identical to the old
+// serial loop.
 func RunTable1() (*Table1Result, error) {
-	wile, fullCycle, err := MeasureWiLE()
-	if err != nil {
-		return nil, err
+	type measurement struct {
+		row Table1Row
+		// fullCycle is nonzero only for the Wi-LE point.
+		fullCycle float64
 	}
-	bleEp, err := MeasureBLE()
-	if err != nil {
-		return nil, err
-	}
-	dc, err := MeasureWiFiDC()
-	if err != nil {
-		return nil, err
-	}
-	ps, err := MeasureWiFiPS()
-	if err != nil {
-		return nil, err
-	}
-	return &Table1Result{
-		Rows: []Table1Row{
-			{Name: "Wi-LE", EnergyPerPacketJ: wile.EnergyJ, IdleCurrentA: wile.IdleCurrentA,
-				PaperEnergyJ: 84e-6, PaperIdleA: 2.5e-6, Episode: wile},
-			{Name: "BLE", EnergyPerPacketJ: bleEp.EnergyJ, IdleCurrentA: bleEp.IdleCurrentA,
-				PaperEnergyJ: 71e-6, PaperIdleA: 1.1e-6, Episode: bleEp},
-			{Name: "WiFi-DC", EnergyPerPacketJ: dc.EnergyJ, IdleCurrentA: dc.IdleCurrentA,
-				PaperEnergyJ: 238.2e-3, PaperIdleA: 2.5e-6, Episode: dc},
-			{Name: "WiFi-PS", EnergyPerPacketJ: ps.EnergyJ, IdleCurrentA: ps.IdleCurrentA,
-				PaperEnergyJ: 19.8e-3, PaperIdleA: 4500e-6, Episode: ps},
+	points := []func() (measurement, error){
+		func() (measurement, error) {
+			ep, fullCycle, err := MeasureWiLE()
+			if err != nil {
+				return measurement{}, err
+			}
+			return measurement{Table1Row{Name: "Wi-LE", EnergyPerPacketJ: ep.EnergyJ,
+				IdleCurrentA: ep.IdleCurrentA, PaperEnergyJ: 84e-6, PaperIdleA: 2.5e-6,
+				Episode: ep}, fullCycle}, nil
 		},
-		WiLEFullCycleJ: fullCycle,
-	}, nil
+		func() (measurement, error) {
+			ep, err := MeasureBLE()
+			if err != nil {
+				return measurement{}, err
+			}
+			return measurement{row: Table1Row{Name: "BLE", EnergyPerPacketJ: ep.EnergyJ,
+				IdleCurrentA: ep.IdleCurrentA, PaperEnergyJ: 71e-6, PaperIdleA: 1.1e-6,
+				Episode: ep}}, nil
+		},
+		func() (measurement, error) {
+			ep, err := MeasureWiFiDC()
+			if err != nil {
+				return measurement{}, err
+			}
+			return measurement{row: Table1Row{Name: "WiFi-DC", EnergyPerPacketJ: ep.EnergyJ,
+				IdleCurrentA: ep.IdleCurrentA, PaperEnergyJ: 238.2e-3, PaperIdleA: 2.5e-6,
+				Episode: ep}}, nil
+		},
+		func() (measurement, error) {
+			ep, err := MeasureWiFiPS()
+			if err != nil {
+				return measurement{}, err
+			}
+			return measurement{row: Table1Row{Name: "WiFi-PS", EnergyPerPacketJ: ep.EnergyJ,
+				IdleCurrentA: ep.IdleCurrentA, PaperEnergyJ: 19.8e-3, PaperIdleA: 4500e-6,
+				Episode: ep}}, nil
+		},
+	}
+	ms, err := engine.Map(Pool(), len(points), func(i int) (measurement, error) {
+		return points[i]()
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{Rows: make([]Table1Row, len(ms))}
+	for i, m := range ms {
+		res.Rows[i] = m.row
+		res.WiLEFullCycleJ += m.fullCycle
+	}
+	return res, nil
 }
 
 // Scenarios converts the result to Equation-1 scenarios for Figure 4.

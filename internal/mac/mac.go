@@ -188,10 +188,10 @@ func (p *Port) kick() {
 func (p *Port) access() {
 	if until := p.med.BusyUntil(p.trx); until > p.sched.Now() {
 		// Busy: try again when the medium frees (postDIFS re-verifies).
-		p.sched.At(until, p.access)
+		p.sched.DoAt(until, p.access)
 		return
 	}
-	p.sched.After(p.timing().DIFS(), p.postDIFS)
+	p.sched.DoAfter(p.timing().DIFS(), p.postDIFS)
 }
 
 // postDIFS runs after a DIFS of intended idle time; if the medium got busy
@@ -237,7 +237,7 @@ func (p *Port) countdown() {
 		return
 	}
 	p.backoffRemaining--
-	p.sched.After(p.timing().Slot, p.countdown)
+	p.sched.DoAfter(p.timing().Slot, p.countdown)
 }
 
 // transmitHead puts the head-of-queue frame on the air.
@@ -266,7 +266,7 @@ func (p *Port) transmit(out *outgoing) {
 		p.Radio.RadioTx(airtime)
 	}
 	if !out.wantACK {
-		p.sched.After(airtime, func() { p.finish(out, true) })
+		p.sched.DoAfter(airtime, func() { p.finish(out, true) })
 		return
 	}
 	t := p.timing()
@@ -346,7 +346,8 @@ func (p *Port) receive(rx medium.Reception) {
 	if p.Monitor != nil {
 		p.Monitor(f, rx)
 	}
-	// ACK completion for our pending frame.
+	// ACK completion for our pending frame. The ACK dies here, so it can
+	// feed the decode pool.
 	if ack, isACK := f.(*dot11.ACK); isACK {
 		if p.current != nil && p.current.wantACK && ack.Receiver == p.Addr {
 			if p.ackTimer != nil {
@@ -355,6 +356,7 @@ func (p *Port) receive(rx medium.Reception) {
 			}
 			p.finish(p.current, true)
 		}
+		p.release(f)
 		return
 	}
 	ra := f.RA()
@@ -366,16 +368,35 @@ func (p *Port) receive(rx medium.Reception) {
 		}
 		if p.isDuplicate(f) {
 			p.Stats.RxDuplicates++
+			p.release(f)
 			return
 		}
 		if p.Handler != nil {
 			p.Handler(f, rx)
+		} else {
+			p.release(f)
 		}
 	case ra.IsGroup():
 		p.Stats.RxFrames++
 		if p.Handler != nil {
 			p.Handler(f, rx)
+		} else {
+			p.release(f)
 		}
+	default:
+		// Overheard traffic for someone else: decoded only to be
+		// discarded, the dominant receive path on a shared channel.
+		p.release(f)
+	}
+}
+
+// release recycles a frame the receive path is provably done with. A
+// Monitor callback retains frames indefinitely (the pcap writer does), so
+// ports in monitor mode never recycle; Handler-delivered frames escape
+// and are likewise never passed here.
+func (p *Port) release(f dot11.Frame) {
+	if p.Monitor == nil {
+		dot11.Release(f)
 	}
 }
 
@@ -430,7 +451,7 @@ func (p *Port) sendACK(to dot11.MAC, atRate phy.Rate) {
 		return
 	}
 	t := p.timing()
-	p.sched.After(t.SIFS, func() {
+	p.sched.DoAfter(t.SIFS, func() {
 		if !p.trx.On() {
 			return
 		}

@@ -188,7 +188,7 @@ func (m *Medium) Transmit(t *Transceiver, data []byte, rate phy.Rate) time.Durat
 			continue
 		}
 		rcv := rcv
-		m.sched.At(tx.end, func() { m.deliver(tx, rcv) })
+		m.sched.DoAt(tx.end, func() { m.deliver(tx, rcv) })
 	}
 	return airtime
 }

@@ -158,3 +158,27 @@ func TestInvalidRatePanics(t *testing.T) {
 	}()
 	New(sim.New(), &rampProbe{}, 0)
 }
+
+func TestReservePreallocatesTraceCapacity(t *testing.T) {
+	s := sim.New()
+	m := New(s, &rampProbe{a: 0.01}, DefaultSampleRate)
+	window := 100 * time.Millisecond
+	m.Reserve(window)
+	if got, want := cap(m.Samples), 5000; got < want {
+		t.Fatalf("Reserve(%v) capacity %d, want >= %d", window, got, want)
+	}
+	before := cap(m.Samples)
+	m.Start()
+	s.RunUntil(sim.FromDuration(window))
+	m.Stop()
+	if cap(m.Samples) != before {
+		t.Fatalf("sampling within the reserved window reallocated: cap %d -> %d", before, cap(m.Samples))
+	}
+	if len(m.Samples) < 5000 {
+		t.Fatalf("collected %d samples, want >= 5000", len(m.Samples))
+	}
+	// Reserving again with room to spare must be a no-op, and a
+	// non-positive window must not panic.
+	m.Reserve(0)
+	m.Reserve(-time.Second)
+}

@@ -62,6 +62,11 @@ type Event struct {
 	fn     func()
 	idx    int // heap index, -1 once popped or cancelled
 	cancel bool
+	// pooled marks events scheduled through DoAt/DoAfter: the scheduler
+	// recycles them after they fire, so no *Event for them ever escapes
+	// to callers (a retained pointer could Cancel a stranger's event
+	// after recycling).
+	pooled bool
 }
 
 // Cancelled reports whether the event was cancelled before it fired.
@@ -108,6 +113,11 @@ type Scheduler struct {
 	// Stopped is set by Stop; Run drains no further events once set.
 	stopped bool
 	fired   uint64
+	// free is the recycled-event freelist backing DoAt/DoAfter. A plain
+	// slice, not a sync.Pool: each kernel is single-goroutine by design
+	// (the experiment engine parallelizes across kernels, never within
+	// one), so no synchronization is needed and nodes stay warm in cache.
+	free []*Event
 }
 
 // New returns a scheduler with the clock at zero.
@@ -143,6 +153,40 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now.Add(d), fn)
 }
 
+// DoAt schedules fn at the absolute virtual time at on a recycled event
+// node. It is the fire-and-forget variant of At for hot paths that never
+// cancel: the event node comes from the scheduler's freelist and returns
+// to it after firing, so steady-state scheduling allocates nothing.
+// Because the node is recycled the caller gets no handle — anything that
+// might need Cancel must use At/After instead.
+func (s *Scheduler) DoAt(at Time, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.at, e.fn, e.cancel = at, fn, false
+	} else {
+		e = &Event{at: at, fn: fn}
+	}
+	e.pooled = true
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// DoAfter schedules fn to run d after the current virtual time on a
+// recycled event node; see DoAt.
+func (s *Scheduler) DoAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.DoAt(s.now.Add(d), fn)
+}
+
 // Cancel removes a pending event. Cancelling an already-fired or
 // already-cancelled event is a no-op, so callers can cancel defensively.
 func (s *Scheduler) Cancel(e *Event) {
@@ -166,7 +210,14 @@ func (s *Scheduler) Step() bool {
 	e := heap.Pop(&s.events).(*Event)
 	s.now = e.at
 	s.fired++
-	e.fn()
+	fn := e.fn
+	if e.pooled {
+		// Recycle before running fn so a callback that schedules another
+		// pooled event (the self-rearming tick pattern) reuses this node.
+		e.fn = nil
+		s.free = append(s.free, e)
+	}
+	fn()
 	return true
 }
 

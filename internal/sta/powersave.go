@@ -96,7 +96,7 @@ func (s *Station) startPollBurst() {
 	s.Dev.SetState(esp32.StateRadioListen)
 	s.sendPSPoll()
 	// Safety: end the burst if the AP stops answering.
-	s.sched.After(100*time.Millisecond, func() {
+	s.sched.DoAfter(100*time.Millisecond, func() {
 		if s.ps.polling {
 			s.endPollBurst()
 		}

@@ -383,7 +383,7 @@ func (s *Station) probe(attempt int, finish func(error)) {
 			return false
 		}
 		s.bssid = resp.Header.Addr3
-		s.sched.After(s.Cfg.Timing.AuthProcessing, func() { s.authenticate(finish) })
+		s.sched.DoAfter(s.Cfg.Timing.AuthProcessing, func() { s.authenticate(finish) })
 		return true
 	}, s.Cfg.Timing.ScanDwell, func() { s.probe(attempt+1, finish) })
 
@@ -406,7 +406,7 @@ func (s *Station) authenticate(finish func(error)) {
 			finish(fmt.Errorf("%w: status %d", ErrAuthFailed, resp.Status))
 			return true
 		}
-		s.sched.After(s.Cfg.Timing.AuthProcessing, func() { s.associate(finish) })
+		s.sched.DoAfter(s.Cfg.Timing.AuthProcessing, func() { s.associate(finish) })
 		return true
 	}, s.Cfg.Timing.ResponseTimeout, func() { finish(ErrAuthFailed) })
 
@@ -518,7 +518,7 @@ func (s *Station) handleEAPOL(pdu []byte) {
 		delay = s.Cfg.Timing.EAPOLProcessingM4
 	}
 	pduCopy := append([]byte(nil), pdu...)
-	s.sched.After(delay, func() {
+	s.sched.DoAfter(delay, func() {
 		if s.supp == nil || s.handshakeDone == nil {
 			return
 		}
@@ -567,7 +567,7 @@ func (s *Station) finishHandshake(err error) {
 	// Bring up the network stack, then DHCP.
 	s.Dev.MarkPhase("DHCP/ARP")
 	s.Dev.SetState(esp32.StateNetworkWait)
-	s.sched.After(s.Cfg.Timing.StackSetup, func() { s.startDHCP(d) })
+	s.sched.DoAfter(s.Cfg.Timing.StackSetup, func() { s.startDHCP(d) })
 }
 
 // sendEAPOL wraps an EAPOL PDU for the uplink. Handshake frames are
@@ -640,7 +640,7 @@ func (s *Station) handleIPv4(payload []byte) {
 	// Copy: the reception buffer is not ours to retain across the
 	// processing delay.
 	dataCopy := append([]byte(nil), data...)
-	s.sched.After(s.Cfg.Timing.NetProcessing, func() {
+	s.sched.DoAfter(s.Cfg.Timing.NetProcessing, func() {
 		if s.dhcpc == nil || s.dhcpDone == nil {
 			return
 		}
@@ -716,7 +716,7 @@ func (s *Station) handleARP(payload []byte) {
 	}
 	d := s.arpDone
 	s.arpDone = nil
-	s.sched.After(s.Cfg.Timing.NetProcessing, func() {
+	s.sched.DoAfter(s.Cfg.Timing.NetProcessing, func() {
 		s.joined = true
 		s.busy = false
 		d(nil)
@@ -789,9 +789,9 @@ func (s *Station) SendReadingPS(payload []byte, dstPort uint16, done func(ok boo
 		return ErrNotJoined
 	}
 	s.Dev.SetState(esp32.StateCPUActive)
-	s.sched.After(s.Cfg.Timing.PSWakeCPU, func() {
+	s.sched.DoAfter(s.Cfg.Timing.PSWakeCPU, func() {
 		s.Dev.SetState(esp32.StateRadioListen)
-		s.sched.After(s.Cfg.Timing.PSWakeListen, func() {
+		s.sched.DoAfter(s.Cfg.Timing.PSWakeListen, func() {
 			err := s.SendReading(payload, dstPort, func(ok bool) {
 				s.Dev.SetState(esp32.StateWiFiPSIdle)
 				if done != nil {

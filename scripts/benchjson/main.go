@@ -1,0 +1,184 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable BENCH_baseline.json this repository tracks benchmark
+// trajectories with. Besides the standard ns/op, B/op and allocs/op
+// columns it keeps every custom metric (µJ/pkt, crossover-s, ...) and
+// derives a speedup entry for each benchmark that reports paired
+// <name>/serial and <name>/parallel sub-benchmarks, so a future PR can
+// diff both the paper's reproduced quantities and the engine's scaling
+// against this baseline with jq alone.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with any -N GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran at (1 when unsuffixed).
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present only with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (µJ/pkt, crossover-s, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Speedup compares a benchmark's serial and parallel variants.
+type Speedup struct {
+	Benchmark       string  `json:"benchmark"`
+	SerialNsPerOp   float64 `json:"serial_ns_per_op"`
+	ParallelNsPerOp float64 `json:"parallel_ns_per_op"`
+	// Speedup is serial/parallel wall-clock; ≈1.0 on a single-core
+	// runner, approaching the worker count on a wide machine.
+	Speedup float64 `json:"speedup"`
+}
+
+// Baseline is the output document.
+type Baseline struct {
+	Source     string      `json:"source"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+func main() {
+	in := flag.String("in", "results/bench_output.txt", "bench output to parse")
+	out := flag.String("out", "BENCH_baseline.json", "JSON file to write")
+	flag.Parse()
+	if err := run(*in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	base := Baseline{Source: in}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			base.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			base.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			base.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				base.Benchmarks = append(base.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", in)
+	}
+	base.Speedups = deriveSpeedups(base.Benchmarks)
+
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(buf, '\n'), 0o644)
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8   100   11915 ns/op   56.40 crossover-s   19928 B/op   9 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name, procs := splitProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = ptr(v)
+		case "allocs/op":
+			b.AllocsPerOp = ptr(v)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+func ptr(v float64) *float64 { return &v }
+
+// splitProcs strips the -N GOMAXPROCS suffix go test appends when
+// GOMAXPROCS > 1. Names can legitimately contain dashes, so only a
+// trailing all-digit segment counts.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}
+
+// deriveSpeedups pairs <name>/serial with <name>/parallel results.
+func deriveSpeedups(bs []Benchmark) []Speedup {
+	serial := map[string]float64{}
+	parallel := map[string]float64{}
+	for _, b := range bs {
+		if root, ok := strings.CutSuffix(b.Name, "/serial"); ok {
+			serial[root] = b.NsPerOp
+		}
+		if root, ok := strings.CutSuffix(b.Name, "/parallel"); ok {
+			parallel[root] = b.NsPerOp
+		}
+	}
+	var out []Speedup
+	for root, s := range serial {
+		p, ok := parallel[root]
+		if !ok || p <= 0 {
+			continue
+		}
+		out = append(out, Speedup{Benchmark: root, SerialNsPerOp: s, ParallelNsPerOp: p, Speedup: s / p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Benchmark < out[j].Benchmark })
+	return out
+}
