@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 # Static analysis: go vet plus the project's own wile-vet suite (simclock,
-# unitsafety, invariantpanic, noretain, errdrop).
+# unitsafety, invariantpanic, noretain, errdrop, obsguard).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/wile-vet ./...

@@ -23,6 +23,7 @@ import (
 	"wile/internal/dot11"
 	"wile/internal/engine"
 	"wile/internal/experiment"
+	"wile/internal/obs"
 )
 
 // --- Table 1 ---
@@ -182,6 +183,10 @@ func BenchmarkAblationJitterStudy(b *testing.B) {
 // --- Micro-benchmarks on the hot protocol paths ---
 
 func BenchmarkBeaconBuildAndMarshal(b *testing.B) {
+	benchBeaconBuildAndMarshal(b)
+}
+
+func benchBeaconBuildAndMarshal(b *testing.B) {
 	msg := &wile.Message{DeviceID: 1, Seq: 1, Readings: []wile.Reading{wile.Temperature(17)}}
 	var scratch []byte
 	b.ReportAllocs()
@@ -242,6 +247,10 @@ func BenchmarkSealedBeaconRoundTrip(b *testing.B) {
 }
 
 func BenchmarkEndToEndTransmission(b *testing.B) {
+	benchEndToEndTransmission(b)
+}
+
+func benchEndToEndTransmission(b *testing.B) {
 	sched := wile.NewScheduler()
 	med := wile.NewMedium(sched, wile.Channel(6))
 	sensor := wile.NewSensor(sched, med, wile.SensorConfig{DeviceID: 1, SkipBoot: true})
@@ -362,4 +371,67 @@ func benchTable1(b *testing.B, p *engine.Pool) {
 func BenchmarkEngineTable1(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchTable1(b, engine.Serial()) })
 	b.Run("parallel", func(b *testing.B) { benchTable1(b, engine.New(0)) })
+}
+
+// --- Observability overhead ---
+//
+// Every hot path grew nil-guarded observability hooks (see internal/obs and
+// DESIGN.md §8). BenchmarkObsDisabled re-runs key workloads with the hooks
+// in their default nil state; each sub-benchmark is the exact body of the
+// eponymous top-level benchmark, so BENCH_baseline.json's pre-obs entry is
+// the reference the pair is diffed against (scripts/benchjson -baseline).
+// The disabled path must add zero allocations — TestObsDisabledZeroAlloc
+// pins that — and only a predictable branch per event.
+
+func BenchmarkObsDisabled(b *testing.B) {
+	b.Run("BeaconBuildAndMarshal", benchBeaconBuildAndMarshal)
+	b.Run("EndToEndTransmission", benchEndToEndTransmission)
+	b.Run("Fig3bWiLETrace", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.RunFig3b(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkObsEnabled is the other side of the ledger: the same Wi-LE trace
+// with a recorder and registry attached, reporting how many trace events
+// one wake cycle emits.
+func BenchmarkObsEnabled(b *testing.B) {
+	b.Run("Fig3bWiLETrace", func(b *testing.B) {
+		b.ReportAllocs()
+		var events int
+		for i := 0; i < b.N; i++ {
+			rec := obs.NewRecorder()
+			o := &experiment.Obs{Rec: rec, Reg: obs.NewRegistry()}
+			if _, err := experiment.RunFig3bObs(o); err != nil {
+				b.Fatal(err)
+			}
+			events = rec.Len()
+		}
+		b.ReportMetric(float64(events), "events/cycle")
+	})
+}
+
+// TestObsDisabledZeroAlloc is the acceptance gate for the disabled path:
+// building and marshaling a beacon with no hooks attached must stay within
+// the pre-obs allocation budget (9 allocs/op at the PR-2 baseline).
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	msg := &wile.Message{DeviceID: 1, Seq: 1, Readings: []wile.Reading{wile.Temperature(17)}}
+	var scratch []byte
+	allocs := testing.AllocsPerRun(200, func() {
+		beacon, err := wile.BuildBeacon(1, 6, msg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch, err = dot11.AppendMarshal(scratch[:0], beacon)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 9 {
+		t.Fatalf("beacon build+marshal costs %.1f allocs/op with obs disabled; budget is 9", allocs)
+	}
 }

@@ -12,6 +12,8 @@
 //	wile-lab all                  # everything
 //
 // CSVs land in the directory named by -out (default "results").
+// -metrics writes a JSON snapshot of the run's counters, gauges and
+// histograms (MAC traffic, engine sweeps, per-experiment energy) to a file.
 package main
 
 import (
@@ -25,25 +27,39 @@ import (
 	"wile/internal/battery"
 	"wile/internal/energy"
 	"wile/internal/experiment"
+	"wile/internal/obs"
 	"wile/internal/pcap"
 )
 
 func main() {
 	out := flag.String("out", "results", "directory for CSV outputs")
+	metrics := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		defer experiment.SetMetrics(experiment.SetMetrics(reg))
+	}
 	if err := run(flag.Arg(0), *out); err != nil {
 		fmt.Fprintln(os.Stderr, "wile-lab:", err)
 		os.Exit(1)
 	}
+	if reg != nil {
+		if err := writeFile(*metrics, reg.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "wile-lab:", err)
+			os.Exit(1)
+		}
+		fmt.Println("metrics written to", *metrics)
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wile-lab [-out dir] {table1|fig3a|fig3b|fig4|claims|joincap|ablations|all}")
+	fmt.Fprintln(os.Stderr, "usage: wile-lab [-out dir] [-metrics file] {table1|fig3a|fig3b|fig4|claims|joincap|ablations|all}")
 }
 
 func run(cmd, out string) error {
@@ -51,9 +67,9 @@ func run(cmd, out string) error {
 	case "table1":
 		return table1()
 	case "fig3a":
-		return fig3(out, "fig3a", experiment.RunFig3a)
+		return fig3(out, "fig3a", experiment.RunFig3aObs)
 	case "fig3b":
-		return fig3(out, "fig3b", experiment.RunFig3b)
+		return fig3(out, "fig3b", experiment.RunFig3bObs)
 	case "fig4":
 		return fig4(out)
 	case "claims":
@@ -65,8 +81,8 @@ func run(cmd, out string) error {
 	case "all":
 		for _, step := range []func() error{
 			table1,
-			func() error { return fig3(out, "fig3a", experiment.RunFig3a) },
-			func() error { return fig3(out, "fig3b", experiment.RunFig3b) },
+			func() error { return fig3(out, "fig3a", experiment.RunFig3aObs) },
+			func() error { return fig3(out, "fig3b", experiment.RunFig3bObs) },
 			func() error { return fig4(out) },
 			claims,
 			ablations,
@@ -116,8 +132,10 @@ func table1() error {
 	return nil
 }
 
-func fig3(out, name string, runner func() (*experiment.Trace, error)) error {
-	tr, err := runner()
+func fig3(out, name string, runner func(*experiment.Obs) (*experiment.Trace, error)) error {
+	// The figure worlds are built per-run, so the package registry (if any)
+	// is threaded in explicitly; a nil registry keeps the disabled path.
+	tr, err := runner(&experiment.Obs{Reg: experiment.Metrics()})
 	if err != nil {
 		return err
 	}

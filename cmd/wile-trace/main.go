@@ -1,42 +1,95 @@
-// Command wile-trace exports the Figure 3 current traces as CSV for
-// plotting: the 50 kSa/s waveform of a WiFi-DC transmission (fig3a) and of
-// a Wi-LE transmission (fig3b), with phase annotations as comment lines.
+// Command wile-trace exports the Figure 3 current traces for plotting and
+// timeline inspection: the 50 kSa/s waveform of a WiFi-DC transmission
+// (fig3a) and of a Wi-LE transmission (fig3b), with phase annotations.
 //
 // Usage:
 //
 //	wile-trace fig3a > fig3a.csv
 //	wile-trace fig3b > fig3b.csv
+//	wile-trace -perfetto fig3b > fig3b.json   # open at https://ui.perfetto.dev
+//	wile-trace -metrics metrics.json fig3b > fig3b.csv
+//
+// -perfetto replaces the CSV with a Chrome trace-event JSON timeline: one
+// track per device/MAC layer plus the meter's current as a counter lane.
+// -sched additionally records every scheduler dispatch as an instant (the
+// firehose view; large). -metrics snapshots the run's counters to a file.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"wile/internal/experiment"
+	"wile/internal/obs"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: wile-trace {fig3a|fig3b}")
+	perfetto := flag.Bool("perfetto", false, "write a Chrome trace-event JSON timeline instead of CSV")
+	metrics := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
+	sched := flag.Bool("sched", false, "with -perfetto, also trace every scheduler dispatch (large)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: wile-trace [-perfetto] [-metrics file] [-sched] {fig3a|fig3b}")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	var runner func() (*experiment.Trace, error)
-	switch os.Args[1] {
+	var runner func(*experiment.Obs) (*experiment.Trace, error)
+	switch flag.Arg(0) {
 	case "fig3a":
-		runner = experiment.RunFig3a
+		runner = experiment.RunFig3aObs
 	case "fig3b":
-		runner = experiment.RunFig3b
+		runner = experiment.RunFig3bObs
 	default:
-		fmt.Fprintf(os.Stderr, "wile-trace: unknown trace %q\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "wile-trace: unknown trace %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
-	tr, err := runner()
+	if *sched && !*perfetto {
+		fmt.Fprintln(os.Stderr, "wile-trace: -sched requires -perfetto")
+		os.Exit(2)
+	}
+
+	o := experiment.Obs{Sched: *sched}
+	if *perfetto {
+		o.Rec = obs.NewRecorder()
+	}
+	if *metrics != "" {
+		o.Reg = obs.NewRegistry()
+	}
+	tr, err := runner(&o)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wile-trace:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	if err := tr.WriteCSV(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "wile-trace:", err)
-		os.Exit(1)
+	switch {
+	case *perfetto:
+		if err := o.Rec.WriteChromeTrace(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := tr.WriteCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		if err := o.Reg.WriteJSON(f); err != nil {
+			_ = f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wile-trace: metrics written to", *metrics)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wile-trace:", err)
+	os.Exit(1)
 }

@@ -69,7 +69,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full wile-vet suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimClock, UnitSafety, InvariantPanic, NoRetain, ErrDrop}
+	return []*Analyzer{SimClock, UnitSafety, InvariantPanic, NoRetain, ErrDrop, ObsGuard}
 }
 
 // Run applies each analyzer to each package and returns the surviving

@@ -9,14 +9,27 @@ import (
 // SimClock forbids wall-clock time and ambient randomness in simulation
 // code. Every experiment must be bit-for-bit reproducible from its seed:
 // the only legal sources of time and randomness are the virtual clock
-// (sim.Scheduler) and the seeded generator (sim.Rand). cmd/ entry points
-// are allowlisted — a CLI may timestamp its log lines — and individual
-// lines can be exempted with "//wile:allow simclock".
+// (sim.Scheduler) and the seeded generator (sim.Rand). In internal
+// packages the check extends to state: struct fields of type time.Time,
+// time.Timer or time.Ticker couple a value to the wall clock even if no
+// banned call appears nearby (the field invites one later). cmd/ entry
+// points are allowlisted — a CLI may timestamp its log lines — and
+// individual lines can be exempted with "//wile:allow simclock".
 var SimClock = &Analyzer{
 	Name: "simclock",
-	Doc: "forbid time.Now/Sleep/After, timers and math/rand in simulation code; " +
-		"sim.Scheduler and sim.Rand are the only legal time/randomness sources",
+	Doc: "forbid time.Now/Sleep/After, timers, math/rand and wall-clock struct " +
+		"fields in simulation code; sim.Scheduler and sim.Rand are the only " +
+		"legal time/randomness sources",
 	Run: runSimClock,
+}
+
+// wallClockTypes are the types of "time" that carry wall-clock state; a
+// struct field of one of these (or a pointer to one) makes the enclosing
+// type non-reproducible. time.Duration is fine: a span has no epoch.
+var wallClockTypes = map[string]bool{
+	"Time":   true,
+	"Timer":  true,
+	"Ticker": true,
 }
 
 // simclockAllowedPrefixes lists import-path prefixes where wall-clock use
@@ -54,23 +67,56 @@ func runSimClock(pass *Pass) error {
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			pkgName, ok := info.Uses[id].(*types.PkgName)
-			if !ok || pkgName.Imported().Path() != "time" {
-				return true
-			}
-			if wallClockFuncs[sel.Sel.Name] {
-				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation code must use the sim.Scheduler virtual clock", sel.Sel.Name)
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				id, ok := n.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := info.Uses[id].(*types.PkgName)
+				if !ok || pkgName.Imported().Path() != "time" {
+					return true
+				}
+				if wallClockFuncs[n.Sel.Name] {
+					pass.Reportf(n.Pos(), "time.%s reads the wall clock; simulation code must use the sim.Scheduler virtual clock", n.Sel.Name)
+				}
+			case *ast.StructType:
+				if !isInternalPkg(pass.Pkg.PkgPath) || n.Fields == nil {
+					return true
+				}
+				for _, field := range n.Fields.List {
+					if name, ok := wallClockFieldType(info, field.Type); ok {
+						pass.Reportf(field.Pos(), "struct field of type time.%s stores wall-clock state; keep sim.Time in simulation structs", name)
+					}
+				}
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// wallClockFieldType reports whether the field type expression resolves to
+// one of time's wall-clock state types, unwrapping one level of pointer.
+func wallClockFieldType(info *types.Info, expr ast.Expr) (name string, ok bool) {
+	tv, found := info.Types[expr]
+	if !found || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return "", false
+	}
+	if !wallClockTypes[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
 }

@@ -31,6 +31,10 @@ func TestNoRetain(t *testing.T) {
 	analysistest.Run(t, "testdata/noretain", fixtureRoot+"noretain", analysis.NoRetain)
 }
 
+func TestObsGuard(t *testing.T) {
+	analysistest.Run(t, "testdata/obsguard", fixtureRoot+"obsguard", analysis.ObsGuard)
+}
+
 func TestErrDrop(t *testing.T) {
 	analysistest.Run(t, "testdata/errdrop", fixtureRoot+"errdrop", analysis.ErrDrop)
 }

@@ -1,10 +1,11 @@
 // Package knownbad is the integration fixture for cmd/wile-vet: each of
-// the five analyzers in the suite fires exactly once in this package.
+// the six analyzers in the suite fires exactly once in this package.
 package knownbad
 
 import (
 	"time"
 
+	"wile/internal/obs"
 	"wile/internal/sim"
 )
 
@@ -35,5 +36,14 @@ func run() {
 	emit() // errdrop: dropped error return
 }
 
+type traced struct {
+	rec   *obs.Recorder
+	track obs.TrackID
+}
+
+func (t *traced) tick() {
+	t.rec.Instant(t.track, 0, "tick") // obsguard: hook used without a nil guard
+}
+
 // use keeps the fixture's helpers referenced.
-var use = []any{wallClock, deadline, ParseByte, EncodeBody, run}
+var use = []any{wallClock, deadline, ParseByte, EncodeBody, run, (*traced).tick}

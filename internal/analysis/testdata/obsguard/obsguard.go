@@ -1,0 +1,96 @@
+// Package obsguard is the fixture for the obsguard analyzer.
+package obsguard
+
+import "wile/internal/obs"
+
+// device models the hot-path shape: observability hooks stored in nilable
+// fields, consulted on every simulated event.
+type device struct {
+	rec     *obs.Recorder
+	track   obs.TrackID
+	metrics *instruments
+}
+
+type instruments struct {
+	frames *obs.Counter
+	depth  *obs.Gauge
+}
+
+func (d *device) goodGuarded(at int64) {
+	if d.rec != nil {
+		d.rec.Instant(d.track, 0, "tick")
+	}
+	if d.metrics != nil {
+		d.metrics.frames.Inc()
+		d.metrics.depth.Set(1)
+	}
+	if d.rec != nil && at > 0 {
+		d.rec.Instant(d.track, 0, "late")
+	}
+}
+
+func (d *device) badUnguarded() {
+	d.rec.Instant(d.track, 0, "tick") // want `obs call d.rec.Instant is not behind a nil guard`
+	d.metrics.frames.Inc()            // want `obs call d.metrics.frames.Inc is not behind a nil guard`
+}
+
+func (d *device) goodEarlyReturn() {
+	if d.rec == nil {
+		return
+	}
+	d.rec.Instant(d.track, 0, "tick")
+}
+
+func (d *device) badElseBranch() {
+	if d.rec != nil {
+		d.rec.Instant(d.track, 0, "then")
+	} else {
+		d.rec.Instant(d.track, 0, "else") // want `obs call d.rec.Instant is not behind a nil guard`
+	}
+}
+
+func (d *device) badDisjunction(on bool) {
+	if d.rec != nil || on {
+		d.rec.Instant(d.track, 0, "maybe") // want `obs call d.rec.Instant is not behind a nil guard`
+	}
+}
+
+// badClosure shows why the guard must live inside the deferred function:
+// by the time the closure runs, the schedule-time check proves nothing.
+func (d *device) badClosure(after func(func())) {
+	if d.rec != nil {
+		after(func() {
+			d.rec.Instant(d.track, 0, "deferred") // want `obs call d.rec.Instant is not behind a nil guard`
+		})
+	}
+	after(func() {
+		if d.rec != nil {
+			d.rec.Instant(d.track, 0, "deferred") // guard inside the closure: ok
+		}
+	})
+}
+
+// TraceTo is wiring, not hot path: the receiver chain roots at a function
+// parameter, so the caller owns the nil decision.
+func (d *device) TraceTo(r *obs.Recorder) {
+	d.rec = r
+	d.track = r.Track("device")
+}
+
+// Observe likewise builds instruments from a caller-owned registry.
+func (d *device) Observe(reg *obs.Registry) {
+	d.metrics = &instruments{
+		frames: reg.Counter("device.frames"),
+		depth:  reg.Gauge("device.depth"),
+	}
+}
+
+func (d *device) allowed() {
+	d.rec.Instant(d.track, 0, "tick") //wile:allow obsguard -- fixture: directive suppression
+}
+
+func localGuarded(mk func() *obs.Registry) {
+	if reg := mk(); reg != nil {
+		reg.Counter("local").Inc()
+	}
+}

@@ -28,3 +28,17 @@ func ok() time.Duration {
 	// Durations and arithmetic are fine; only wall-clock reads are banned.
 	return 3 * time.Second
 }
+
+// wallState exercises the struct-field extension: wall-clock state types
+// are banned from internal structs even without a banned call in sight.
+type wallState struct {
+	deadline time.Time    // want `struct field of type time.Time stores wall-clock state`
+	tick     *time.Ticker // want `struct field of type time.Ticker stores wall-clock state`
+	retry    *time.Timer  // want `struct field of type time.Timer stores wall-clock state`
+	span     time.Duration
+	label    string
+}
+
+type allowedState struct {
+	startedAt time.Time //wile:allow simclock -- fixture: directive suppression
+}

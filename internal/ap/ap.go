@@ -18,6 +18,7 @@ import (
 	"wile/internal/mac"
 	"wile/internal/medium"
 	"wile/internal/netstack"
+	"wile/internal/obs"
 	"wile/internal/phy"
 	"wile/internal/sim"
 )
@@ -143,6 +144,10 @@ type AP struct {
 	// tsfStart anchors the beacon timestamp field.
 	beaconEvent *sim.Event
 	ipID        uint16
+
+	// rec/track carry the optional trace recorder (TraceTo).
+	rec   *obs.Recorder
+	track obs.TrackID
 }
 
 // New builds an AP and attaches it to the medium. Call Start to begin
@@ -167,6 +172,25 @@ func New(sched *sim.Scheduler, med *medium.Medium, cfg Config) *AP {
 		phy.RateHTMCS7, phy.DBm(20), phy.SensitivityWiFi1M, sim.NewRand(cfg.Seed^0x5555))
 	a.Port.Handler = a.handle
 	return a
+}
+
+// TraceTo attaches the AP to a trace recorder: MAC activity lands on one
+// track, beacon generation instants on another. Passing a nil recorder
+// detaches.
+func (a *AP) TraceTo(r *obs.Recorder) {
+	a.rec = r
+	if r == nil {
+		a.Port.TraceTo(nil, 0)
+		return
+	}
+	name := "ap:" + a.Cfg.SSID
+	a.Port.TraceTo(r, r.Track(name+" mac"))
+	a.track = r.Track(name)
+}
+
+// Observe mirrors the AP's MAC counters into the registry.
+func (a *AP) Observe(reg *obs.Registry) {
+	a.Port.Metrics = mac.MetricsFor(reg)
 }
 
 // Start powers the radio and begins the beacon schedule.
@@ -226,6 +250,9 @@ func (a *AP) sendBeacon() {
 	b := dot11.NewBeacon(a.Cfg.BSSID, a.Cfg.BeaconIntervalTU, dot11.CapESS|dot11.CapPrivacy, a.elements(true))
 	b.Timestamp = uint64(a.sched.Now() / sim.Microsecond)
 	a.Stats.BeaconsSent++
+	if a.rec != nil {
+		a.rec.Instant(a.track, a.sched.Now(), "beacon")
+	}
 	a.send(b, nil)
 }
 

@@ -8,6 +8,7 @@ import (
 	"wile/internal/dot11"
 	"wile/internal/mac"
 	"wile/internal/medium"
+	"wile/internal/obs"
 	"wile/internal/phy"
 	"wile/internal/sim"
 )
@@ -107,7 +108,26 @@ func NewScanner(sched *sim.Scheduler, med *medium.Medium, cfg ScannerConfig) *Sc
 		phy.SensitivityWiFiMCS7, sim.NewRand(cfg.Seed))
 	sc.Port.AutoACK = false
 	sc.Port.Monitor = sc.handleFrame
+	// handleFrame copies everything it keeps (Reassemble and the device
+	// records hold no references into the beacon), so the scanner can hand
+	// frames straight back to the decode pool.
+	sc.Port.ReleaseAfterMonitor = true
 	return sc
+}
+
+// TraceTo attaches the scanner's MAC to a trace recorder. Passing a nil
+// recorder detaches.
+func (sc *Scanner) TraceTo(r *obs.Recorder) {
+	if r == nil {
+		sc.Port.TraceTo(nil, 0)
+		return
+	}
+	sc.Port.TraceTo(r, r.Track(sc.Cfg.Name+" mac"))
+}
+
+// Observe mirrors the scanner's MAC counters into the registry.
+func (sc *Scanner) Observe(reg *obs.Registry) {
+	sc.Port.Metrics = mac.MetricsFor(reg)
 }
 
 // Start powers the receiver on.

@@ -8,6 +8,7 @@ import (
 	"wile/internal/esp32"
 	"wile/internal/mac"
 	"wile/internal/medium"
+	"wile/internal/obs"
 	"wile/internal/phy"
 	"wile/internal/sim"
 )
@@ -85,6 +86,10 @@ type Sensor struct {
 	running bool
 	// pendingSeq tracks the in-flight sequence number for downlink match.
 	windowOpen bool
+
+	// rec/track carry the optional trace recorder (TraceTo).
+	rec   *obs.Recorder
+	track obs.TrackID
 }
 
 // SensorStats counts transmitter events.
@@ -116,6 +121,27 @@ func NewSensor(sched *sim.Scheduler, med *medium.Medium, cfg SensorConfig) *Sens
 
 // BSSID reports the device's beacon BSSID, derived from the device ID.
 func (s *Sensor) BSSID() dot11.MAC { return dot11.LocalMAC(s.Cfg.DeviceID) }
+
+// TraceTo attaches the sensor and its device/MAC to a trace recorder,
+// registering one track per layer: power states, MAC activity, and the
+// sensor's own injection instants. Passing a nil recorder detaches.
+func (s *Sensor) TraceTo(r *obs.Recorder) {
+	s.rec = r
+	if r == nil {
+		s.Dev.TraceTo(nil, 0)
+		s.Port.TraceTo(nil, 0)
+		return
+	}
+	name := fmt.Sprintf("wile:%08x", s.Cfg.DeviceID)
+	s.Dev.TraceTo(r, r.Track(name+" power"))
+	s.Port.TraceTo(r, r.Track(name+" mac"))
+	s.track = r.Track(name)
+}
+
+// Observe mirrors the sensor's MAC counters into the registry.
+func (s *Sensor) Observe(reg *obs.Registry) {
+	s.Port.Metrics = mac.MetricsFor(reg)
+}
 
 // BuildBeacon constructs the injected frame for the given message: hidden
 // SSID (§4.1), DS parameter, basic rates, and the message fragments as
@@ -167,6 +193,9 @@ func (s *Sensor) TransmitOnce(readings []Reading, done func(ok bool)) {
 		}
 		s.Stats.Messages++
 		s.Stats.Fragments += len(beacon.Elements.Vendors(OUI))
+		if s.rec != nil {
+			s.rec.Instant(s.track, s.sched.Now(), "inject-beacon")
+		}
 		s.Port.SetRadioOn(true)
 		s.Dev.SetState(esp32.StateRadioListen)
 		err = s.Port.Send(beacon, func(ok bool) {

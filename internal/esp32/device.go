@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"wile/internal/obs"
 	"wile/internal/sim"
 )
 
@@ -125,6 +126,11 @@ type Device struct {
 	chargeC float64
 	steps   []Step
 	marks   []Mark
+
+	// rec/track carry the optional trace recorder (TraceTo): power states
+	// become nested slices, phase marks instants, TX bursts spans.
+	rec   *obs.Recorder
+	track obs.TrackID
 }
 
 // New builds a device in deep sleep at the scheduler's current time.
@@ -162,8 +168,24 @@ func (d *Device) effectiveCurrent() float64 {
 	return StateCurrentA(d.state)
 }
 
+// TraceTo attaches the device to a trace recorder: the current power state
+// opens as a slice on the given track, and every later transition closes
+// one slice and opens the next. Passing a nil recorder detaches.
+func (d *Device) TraceTo(r *obs.Recorder, track obs.TrackID) {
+	d.rec = r
+	d.track = track
+	if r != nil {
+		r.Begin(track, d.sched.Now(), d.state.String())
+	}
+}
+
 // SetState moves the device to s immediately.
 func (d *Device) SetState(s State) {
+	if d.rec != nil && s != d.state {
+		now := d.sched.Now()
+		d.rec.End(d.track, now)
+		d.rec.Begin(d.track, now, s.String())
+	}
 	d.state = s
 	d.setCurrent(d.effectiveCurrent())
 }
@@ -184,6 +206,9 @@ func (d *Device) RadioTx(airtime time.Duration) {
 	if until > d.txUntil {
 		d.txUntil = until
 	}
+	if d.rec != nil {
+		d.rec.Span(d.track, d.sched.Now(), until, "tx-burst")
+	}
 	d.setCurrent(TxBurstCurrentA)
 	d.sched.DoAt(until, func() {
 		if d.sched.Now() >= d.txUntil {
@@ -195,6 +220,9 @@ func (d *Device) RadioTx(airtime time.Duration) {
 // MarkPhase records a labeled instant for figure annotation.
 func (d *Device) MarkPhase(label string) {
 	d.marks = append(d.marks, Mark{At: d.sched.Now(), Label: label})
+	if d.rec != nil {
+		d.rec.Instant(d.track, d.sched.Now(), label)
+	}
 }
 
 // Marks returns the recorded phase annotations.

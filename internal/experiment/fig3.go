@@ -9,8 +9,36 @@ import (
 	"wile/internal/core"
 	"wile/internal/esp32"
 	"wile/internal/meter"
+	"wile/internal/obs"
 	"wile/internal/sim"
 )
+
+// Obs bundles the optional observability sinks a run can be wired to: a
+// trace recorder for the timeline and a registry for counters. Either field
+// may be nil; a nil *Obs disables observability entirely.
+type Obs struct {
+	Rec *obs.Recorder
+	Reg *obs.Registry
+	// Sched additionally records every scheduler dispatch as an instant on
+	// a "sched" track — the firehose view (one event per timer tick and
+	// meter sample), for debugging sessions rather than figure runs.
+	Sched bool
+}
+
+// rec/reg unwrap an optional Obs.
+func (o *Obs) rec() *obs.Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.Rec
+}
+
+func (o *Obs) reg() *obs.Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
 
 // Trace is one Figure-3 current waveform: the 50 kSa/s multimeter record
 // plus the phase annotations the paper overlays.
@@ -36,12 +64,29 @@ const figureWindow = 2 * time.Second
 // RunFig3a records the WiFi-DC transmission waveform of Figure 3a:
 // deep sleep → MC/WiFi init → probe/auth/assoc (+ 4-way) → DHCP/ARP →
 // data TX → deep sleep, sampled at 50 kSa/s.
-func RunFig3a() (*Trace, error) {
+func RunFig3a() (*Trace, error) { return RunFig3aObs(nil) }
+
+// RunFig3aObs is RunFig3a with observability attached: device power states,
+// MAC activity and the meter waveform land in o's recorder, MAC counters in
+// its registry.
+func RunFig3aObs(o *Obs) (*Trace, error) {
 	w := newWorld()
-	w.newAP()
+	accessPoint := w.newAP()
 	station := w.newStation()
 	dev := station.Dev
 	m := meter.New(w.sched, dev, meter.DefaultSampleRate)
+	if r := o.rec(); r != nil {
+		station.TraceTo(r)
+		accessPoint.TraceTo(r)
+		m.TraceTo(r, r.Track("current_mA"))
+		if o.Sched {
+			obs.ObserveScheduler(r, w.sched, r.Track("sched"))
+		}
+	}
+	if reg := o.reg(); reg != nil {
+		station.Observe(reg)
+		accessPoint.Observe(reg)
+	}
 	m.Reserve(figureWindow)
 	m.Start()
 
@@ -83,15 +128,32 @@ func RunFig3a() (*Trace, error) {
 
 // RunFig3b records the Wi-LE waveform of Figure 3b: deep sleep → shorter
 // MC/WiFi init → one injected beacon → deep sleep.
-func RunFig3b() (*Trace, error) {
+func RunFig3b() (*Trace, error) { return RunFig3bObs(nil) }
+
+// RunFig3bObs is RunFig3b with observability attached: sensor power states,
+// injection instants, MAC spans and the meter waveform land in o's
+// recorder, MAC counters in its registry.
+func RunFig3bObs(o *Obs) (*Trace, error) {
 	w := newWorld()
 	sensor := core.NewSensor(w.sched, w.med, core.SensorConfig{DeviceID: 0x1001, Position: devicePos})
 	scanner := core.NewScanner(w.sched, w.med, core.ScannerConfig{Position: apPos})
+	m := meter.New(w.sched, sensor.Dev, meter.DefaultSampleRate)
+	if r := o.rec(); r != nil {
+		sensor.TraceTo(r)
+		scanner.TraceTo(r)
+		m.TraceTo(r, r.Track("current_mA"))
+		if o.Sched {
+			obs.ObserveScheduler(r, w.sched, r.Track("sched"))
+		}
+	}
+	if reg := o.reg(); reg != nil {
+		sensor.Observe(reg)
+		scanner.Observe(reg)
+	}
 	scanner.Start()
 	received := false
 	scanner.OnMessage = func(*core.Message, core.Meta) { received = true }
 
-	m := meter.New(w.sched, sensor.Dev, meter.DefaultSampleRate)
 	m.Reserve(figureWindow)
 	m.Start()
 	var txOK *bool

@@ -8,6 +8,7 @@ import (
 
 	"wile/internal/energy"
 	"wile/internal/engine"
+	"wile/internal/obs"
 )
 
 // Table1Row is one technology's measured column of Table 1.
@@ -93,9 +94,19 @@ func RunTable1() (*Table1Result, error) {
 		return nil, err
 	}
 	res := &Table1Result{Rows: make([]Table1Row, len(ms))}
+	// The histogram feed stays on the caller's goroutine, in row order, so
+	// metric snapshots are deterministic regardless of the pool in use.
+	var perPacket *obs.Histogram
+	if reg := Metrics(); reg != nil {
+		perPacket = reg.Histogram("experiment.energy_per_packet_uj",
+			[]float64{100, 1e3, 1e4, 1e5, 1e6})
+	}
 	for i, m := range ms {
 		res.Rows[i] = m.row
 		res.WiLEFullCycleJ += m.fullCycle
+		if perPacket != nil {
+			perPacket.Observe(m.row.EnergyPerPacketJ * 1e6)
+		}
 	}
 	return res, nil
 }

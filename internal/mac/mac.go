@@ -11,6 +11,7 @@ import (
 
 	"wile/internal/dot11"
 	"wile/internal/medium"
+	"wile/internal/obs"
 	"wile/internal/phy"
 	"wile/internal/sim"
 )
@@ -58,6 +59,35 @@ type Stats struct {
 	Drops        int // frames dropped after RetryLimit
 }
 
+// PortMetrics mirrors the Stats counters into an obs.Registry. One
+// PortMetrics is shared by every port wired to the same registry, so the
+// registry carries the fleet aggregate (the view a production MAC exports)
+// while per-port Stats keeps the local breakdown.
+type PortMetrics struct {
+	TxFrames     *obs.Counter
+	TxACKs       *obs.Counter
+	RxFrames     *obs.Counter
+	RxFCSErrors  *obs.Counter
+	RxDuplicates *obs.Counter
+	Retries      *obs.Counter
+	Drops        *obs.Counter
+}
+
+// MetricsFor returns the registry's shared MAC counters, registering them
+// on first use. The names deliberately track the Stats field set so the
+// metrics snapshot subsumes the old ad-hoc counters.
+func MetricsFor(reg *obs.Registry) *PortMetrics {
+	return &PortMetrics{
+		TxFrames:     reg.Counter("mac.tx_frames"),
+		TxACKs:       reg.Counter("mac.tx_acks"),
+		RxFrames:     reg.Counter("mac.rx_frames"),
+		RxFCSErrors:  reg.Counter("mac.rx_fcs_errors"),
+		RxDuplicates: reg.Counter("mac.rx_duplicates"),
+		Retries:      reg.Counter("mac.retries"),
+		Drops:        reg.Counter("mac.drops"),
+	}
+}
+
 // Port is one station's MAC entity.
 type Port struct {
 	// Addr is the port's MAC address.
@@ -71,8 +101,18 @@ type Port struct {
 	// addressing — monitor mode, which is how the Wi-LE evaluation's
 	// receiver verifies injected beacons.
 	Monitor func(f dot11.Frame, rx medium.Reception)
+	// ReleaseAfterMonitor lets a monitor opt back in to frame recycling:
+	// setting it promises that Monitor is done with the frame (and
+	// everything aliasing it) by the time it returns, so the receive path
+	// may recycle frames it would otherwise strand outside the decode
+	// pool. Monitors that retain frames — the pcap writer does — must
+	// leave it false, the conservative default.
+	ReleaseAfterMonitor bool
 	// Radio, when set, is notified of transmit bursts for power modeling.
 	Radio RadioListener
+	// Metrics, when non-nil, mirrors the Stats counters into a shared
+	// metrics registry (see MetricsFor).
+	Metrics *PortMetrics
 	// AutoACK controls whether unicast receptions are acknowledged.
 	AutoACK bool
 	// Stats accumulates counters.
@@ -96,6 +136,14 @@ type Port struct {
 	// periods, as the DCF requires.
 	backoffRemaining int
 	ackTimer         *sim.Event
+
+	// rec/track carry the optional trace recorder (TraceTo). accessStart
+	// and awaitStart remember span openings so the closing site can emit
+	// the complete slice.
+	rec         *obs.Recorder
+	track       obs.TrackID
+	accessStart sim.Time
+	awaitStart  sim.Time
 }
 
 // New attaches a port to the medium at pos.
@@ -116,6 +164,60 @@ func New(sched *sim.Scheduler, med *medium.Medium, name string, pos medium.Posit
 
 // Transceiver exposes the underlying radio (for power control and tests).
 func (p *Port) Transceiver() *medium.Transceiver { return p.trx }
+
+// TraceTo attaches the port to a trace recorder: channel-access and TX
+// spans, ACK waits and receptions land on the given track. Passing a nil
+// recorder detaches.
+func (p *Port) TraceTo(r *obs.Recorder, track obs.TrackID) {
+	p.rec = r
+	p.track = track
+}
+
+// txName/rxName map a frame kind to a static span name, so the enabled
+// trace path allocates nothing per event beyond the recorder's log.
+func txName(f dot11.Frame) string {
+	switch f.(type) {
+	case *dot11.Beacon:
+		return "tx beacon"
+	case *dot11.ProbeReq:
+		return "tx probe-req"
+	case *dot11.ProbeResp:
+		return "tx probe-resp"
+	case *dot11.Auth:
+		return "tx auth"
+	case *dot11.AssocReq:
+		return "tx assoc-req"
+	case *dot11.AssocResp:
+		return "tx assoc-resp"
+	case *dot11.Data:
+		return "tx data"
+	case *dot11.ACK:
+		return "tx ack"
+	}
+	return "tx frame"
+}
+
+func rxName(f dot11.Frame) string {
+	switch f.(type) {
+	case *dot11.Beacon:
+		return "rx beacon"
+	case *dot11.ProbeReq:
+		return "rx probe-req"
+	case *dot11.ProbeResp:
+		return "rx probe-resp"
+	case *dot11.Auth:
+		return "rx auth"
+	case *dot11.AssocReq:
+		return "rx assoc-req"
+	case *dot11.AssocResp:
+		return "rx assoc-resp"
+	case *dot11.Data:
+		return "rx data"
+	case *dot11.ACK:
+		return "rx ack"
+	}
+	return "rx frame"
+}
 
 // SetRadioOn powers the radio. Powering off cancels nothing in the TX
 // queue, but nothing will transmit or be received until power returns.
@@ -179,6 +281,9 @@ func (p *Port) kick() {
 	}
 	p.inAccess = true
 	p.backoffRemaining = -1 // draw fresh backoff for the new frame
+	if p.rec != nil {
+		p.accessStart = p.sched.Now()
+	}
 	p.access()
 }
 
@@ -243,6 +348,10 @@ func (p *Port) countdown() {
 // transmitHead puts the head-of-queue frame on the air.
 func (p *Port) transmitHead() {
 	p.inAccess = false
+	if p.rec != nil {
+		// DIFS + backoff (+ any busy deferrals) ends here.
+		p.rec.Span(p.track, p.accessStart, p.sched.Now(), "access")
+	}
 	if len(p.queue) == 0 {
 		return
 	}
@@ -262,12 +371,22 @@ func (p *Port) transmit(out *outgoing) {
 	}
 	airtime := p.med.Transmit(p.trx, out.raw, out.rate)
 	p.Stats.TxFrames++
+	if p.Metrics != nil {
+		p.Metrics.TxFrames.Inc()
+	}
+	if p.rec != nil {
+		now := p.sched.Now()
+		p.rec.Span(p.track, now, now.Add(airtime), txName(out.frame))
+	}
 	if p.Radio != nil {
 		p.Radio.RadioTx(airtime)
 	}
 	if !out.wantACK {
 		p.sched.DoAfter(airtime, func() { p.finish(out, true) })
 		return
+	}
+	if p.rec != nil {
+		p.awaitStart = p.sched.Now().Add(airtime)
 	}
 	t := p.timing()
 	ackAirtime := phy.FrameAirtime(ControlRate(out.rate), 14)
@@ -280,8 +399,18 @@ func (p *Port) ackTimeout(out *outgoing) {
 	p.ackTimer = nil
 	out.retries++
 	p.Stats.Retries++
+	if p.Metrics != nil {
+		p.Metrics.Retries.Inc()
+	}
+	if p.rec != nil {
+		p.rec.Span(p.track, p.awaitStart, p.sched.Now(), "ack-wait")
+		p.rec.Instant(p.track, p.sched.Now(), "ack-timeout")
+	}
 	if out.retries > RetryLimit {
 		p.Stats.Drops++
+		if p.Metrics != nil {
+			p.Metrics.Drops.Inc()
+		}
 		p.finish(out, false)
 		return
 	}
@@ -341,6 +470,9 @@ func (p *Port) receive(rx medium.Reception) {
 	f, err := dot11.Decode(rx.Data)
 	if err != nil {
 		p.Stats.RxFCSErrors++
+		if p.Metrics != nil {
+			p.Metrics.RxFCSErrors.Inc()
+		}
 		return
 	}
 	if p.Monitor != nil {
@@ -354,6 +486,10 @@ func (p *Port) receive(rx medium.Reception) {
 				p.sched.Cancel(p.ackTimer)
 				p.ackTimer = nil
 			}
+			if p.rec != nil {
+				p.rec.Span(p.track, p.awaitStart, p.sched.Now(), "ack-wait")
+				p.rec.Instant(p.track, p.sched.Now(), "rx ack")
+			}
 			p.finish(p.current, true)
 		}
 		p.release(f)
@@ -363,11 +499,20 @@ func (p *Port) receive(rx medium.Reception) {
 	switch {
 	case ra == p.Addr:
 		p.Stats.RxFrames++
+		if p.Metrics != nil {
+			p.Metrics.RxFrames.Inc()
+		}
+		if p.rec != nil {
+			p.rec.Instant(p.track, p.sched.Now(), rxName(f))
+		}
 		if p.AutoACK {
 			p.sendACK(f.TA(), rx.Rate)
 		}
 		if p.isDuplicate(f) {
 			p.Stats.RxDuplicates++
+			if p.Metrics != nil {
+				p.Metrics.RxDuplicates.Inc()
+			}
 			p.release(f)
 			return
 		}
@@ -378,6 +523,12 @@ func (p *Port) receive(rx medium.Reception) {
 		}
 	case ra.IsGroup():
 		p.Stats.RxFrames++
+		if p.Metrics != nil {
+			p.Metrics.RxFrames.Inc()
+		}
+		if p.rec != nil {
+			p.rec.Instant(p.track, p.sched.Now(), rxName(f))
+		}
 		if p.Handler != nil {
 			p.Handler(f, rx)
 		} else {
@@ -391,11 +542,12 @@ func (p *Port) receive(rx medium.Reception) {
 }
 
 // release recycles a frame the receive path is provably done with. A
-// Monitor callback retains frames indefinitely (the pcap writer does), so
-// ports in monitor mode never recycle; Handler-delivered frames escape
-// and are likewise never passed here.
+// Monitor callback may retain frames indefinitely (the pcap writer does),
+// so ports in monitor mode only recycle when the monitor has opted in via
+// ReleaseAfterMonitor; Handler-delivered frames escape and are never
+// passed here.
 func (p *Port) release(f dot11.Frame) {
-	if p.Monitor == nil {
+	if p.Monitor == nil || p.ReleaseAfterMonitor {
 		dot11.Release(f)
 	}
 }
@@ -458,6 +610,14 @@ func (p *Port) sendACK(to dot11.MAC, atRate phy.Rate) {
 		airtime := p.med.Transmit(p.trx, raw, ControlRate(atRate))
 		p.Stats.TxFrames++
 		p.Stats.TxACKs++
+		if p.Metrics != nil {
+			p.Metrics.TxFrames.Inc()
+			p.Metrics.TxACKs.Inc()
+		}
+		if p.rec != nil {
+			now := p.sched.Now()
+			p.rec.Span(p.track, now, now.Add(airtime), "tx ack")
+		}
 		if p.Radio != nil {
 			p.Radio.RadioTx(airtime)
 		}

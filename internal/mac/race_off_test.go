@@ -1,0 +1,7 @@
+//go:build !race
+
+package mac
+
+// raceEnabled reports whether the race detector is on; sync.Pool sheds
+// items under -race, so pool-reuse assertions gate on it.
+const raceEnabled = false

@@ -9,6 +9,7 @@ import (
 	"io"
 	"time"
 
+	"wile/internal/obs"
 	"wile/internal/sim"
 )
 
@@ -36,6 +37,14 @@ type Meter struct {
 	period  time.Duration
 	running bool
 	tick    *sim.Event
+
+	// rec/track carry the optional trace recorder (TraceTo). lastTraced
+	// dedups the counter feed: the waveform is piecewise-constant, so one
+	// event per plateau carries the full signal and a 2-second 50 kS/s run
+	// costs dozens of trace events instead of 100k.
+	rec        *obs.Recorder
+	track      obs.TrackID
+	lastTraced float64
 }
 
 // New builds a meter for the probe at rate samples/second.
@@ -72,11 +81,25 @@ func (m *Meter) Start() {
 	m.sample()
 }
 
+// TraceTo attaches the meter to a trace recorder: readings feed the given
+// counter track in milliamperes, recorded only on change. Passing a nil
+// recorder detaches.
+func (m *Meter) TraceTo(r *obs.Recorder, track obs.TrackID) {
+	m.rec = r
+	m.track = track
+	m.lastTraced = -1 // force the first sample through
+}
+
 func (m *Meter) sample() {
 	if !m.running {
 		return
 	}
-	m.Samples = append(m.Samples, Sample{At: m.sched.Now(), CurrentA: m.probe.Current()})
+	a := m.probe.Current()
+	m.Samples = append(m.Samples, Sample{At: m.sched.Now(), CurrentA: a})
+	if m.rec != nil && a != m.lastTraced {
+		m.lastTraced = a
+		m.rec.Counter(m.track, m.sched.Now(), a*1000)
+	}
 	m.tick = m.sched.After(m.period, m.sample)
 }
 

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. Increments are
+// atomic so counters shared across engine workers stay exact; integer
+// addition is commutative, so totals are independent of worker scheduling.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-write-wins float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Bucket counts are atomic; the
+// running sum is not, so Observe must be called from deterministic call
+// sites (a kernel goroutine, or the caller side of an engine sweep) when
+// snapshots need to be byte-identical across runs — which is how every
+// histogram in this repository is fed.
+type Histogram struct {
+	bounds  []float64 // inclusive upper bounds, ascending; implicit +Inf last
+	buckets []atomic.Int64
+	count   atomic.Int64
+	mu      sync.Mutex
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.mu.Lock()
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the total of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Registry is a named collection of metrics. Metric constructors are
+// get-or-create, so independent components that agree on a name (every
+// mac.Port wired to the registry, say) share one aggregate metric. A
+// Registry is safe for concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	names []string // registration order; snapshots sort
+	items map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: make(map[string]any)}
+}
+
+// Counter returns the named counter, creating it on first use. Registering
+// a name twice with different metric kinds panics: it is always a wiring
+// bug, and silently returning a fresh metric would split the series.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if it, ok := r.items[name]; ok {
+		c, ok := it.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, it))
+		}
+		return c
+	}
+	c := &Counter{}
+	r.register(name, c)
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if it, ok := r.items[name]; ok {
+		g, ok := it.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, it))
+		}
+		return g
+	}
+	g := &Gauge{}
+	r.register(name, g)
+	return g
+}
+
+// Histogram returns the named histogram with the given ascending upper
+// bucket bounds (an implicit +Inf bucket is appended), creating it on
+// first use. Re-registration returns the existing histogram; the bounds of
+// the first registration win.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if it, ok := r.items[name]; ok {
+		h, ok := it.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, it))
+		}
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.register(name, h)
+	return h
+}
+
+// register records the metric; the caller holds r.mu.
+func (r *Registry) register(name string, it any) {
+	r.items[name] = it
+	r.names = append(r.names, name)
+}
+
+// Names reports the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.names...)
+	sort.Strings(out)
+	return out
+}
+
+// WriteJSON snapshots every metric as a single JSON object, grouped by
+// kind and sorted by name — a deterministic serialization of deterministic
+// values, so two identical runs snapshot byte-identically.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	names := r.Names()
+	r.mu.Lock()
+	items := make(map[string]any, len(r.items))
+	for k, v := range r.items {
+		items[k] = v
+	}
+	r.mu.Unlock()
+
+	bw := &errWriter{w: w}
+	bw.printf("{\n  \"counters\": {")
+	writeKind(bw, names, func(name string) (string, bool) {
+		c, ok := items[name].(*Counter)
+		if !ok {
+			return "", false
+		}
+		return strconv.FormatInt(c.Value(), 10), true
+	})
+	bw.printf("},\n  \"gauges\": {")
+	writeKind(bw, names, func(name string) (string, bool) {
+		g, ok := items[name].(*Gauge)
+		if !ok {
+			return "", false
+		}
+		return formatValue(g.Value()), true
+	})
+	bw.printf("},\n  \"histograms\": {")
+	writeKind(bw, names, func(name string) (string, bool) {
+		h, ok := items[name].(*Histogram)
+		if !ok {
+			return "", false
+		}
+		var b []byte
+		b = append(b, `{"count":`...)
+		b = strconv.AppendInt(b, h.Count(), 10)
+		b = append(b, `,"sum":`...)
+		b = append(b, formatValue(h.Sum())...)
+		b = append(b, `,"buckets":[`...)
+		for i := range h.buckets {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"le":`...)
+			if i < len(h.bounds) {
+				b = append(b, formatValue(h.bounds[i])...)
+			} else {
+				b = append(b, `"+Inf"`...)
+			}
+			b = append(b, `,"count":`...)
+			b = strconv.AppendInt(b, h.buckets[i].Load(), 10)
+			b = append(b, '}')
+		}
+		b = append(b, `]}`...)
+		return string(b), true
+	})
+	bw.printf("}\n}\n")
+	return bw.err
+}
+
+// writeKind emits the "name": value pairs of one metric kind.
+func writeKind(bw *errWriter, names []string, value func(name string) (string, bool)) {
+	first := true
+	for _, name := range names {
+		v, ok := value(name)
+		if !ok {
+			continue
+		}
+		if !first {
+			bw.printf(",")
+		}
+		first = false
+		bw.printf("\n    %s: %s", quote(name), v)
+	}
+	if !first {
+		bw.printf("\n  ")
+	}
+}

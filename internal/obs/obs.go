@@ -1,0 +1,196 @@
+// Package obs is the simulator's observability layer: a sim-time trace
+// recorder and a metrics registry that turn one run into the two views a
+// production system is debugged through — a timeline and a set of counters.
+//
+// The paper's entire argument is a waveform (Figures 3a/3b are
+// current-vs-time traces, Table 1 is their integral), so the layer is built
+// around the same discipline as the simulation itself: every recorded
+// event is keyed exclusively on sim.Time. No wall clock, no goroutine IDs,
+// no map iteration feeds an export, which makes traces and metric
+// snapshots byte-identical across runs and across GOMAXPROCS — the engine
+// determinism contract (DESIGN.md §7) extended to observability.
+//
+// Cost model. Instrumented packages never call into obs unconditionally:
+// every hook is a nil-guarded pointer in the host struct (the same pattern
+// as mac.Port.Monitor), so a simulation with observability disabled pays
+// one predictable branch per hook site and zero allocations — proven by
+// BenchmarkObsDisabled. The wile-vet obsguard analyzer enforces the guard
+// mechanically. With a Recorder attached, recording one event is a slice
+// append (amortized one allocation per doubling); formatting work happens
+// only at export time.
+//
+// Trace model. A Recorder owns a set of named tracks (one per device, MAC
+// port, or instrument) and an ordered event log of slices (Span, Begin/End),
+// instants and counter samples. WriteChromeTrace exports the log in the
+// Chrome trace-event JSON format, which https://ui.perfetto.dev opens
+// directly as a timeline: tracks become threads, counter tracks become
+// counter lanes.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"wile/internal/sim"
+)
+
+// TrackID names one timeline lane of a Recorder.
+type TrackID int32
+
+// phase codes, matching the Chrome trace-event "ph" field.
+const (
+	phSpan    = 'X' // complete slice: ts + dur
+	phBegin   = 'B' // open slice
+	phEnd     = 'E' // close the innermost open slice
+	phInstant = 'i' // instant
+	phCounter = 'C' // counter sample
+)
+
+// event is one recorded trace event. Events are stored raw and formatted
+// only at export, keeping the record path allocation-free apart from the
+// amortized slice growth.
+type event struct {
+	at    sim.Time
+	dur   sim.Time
+	value float64
+	name  string
+	track TrackID
+	ph    byte
+}
+
+// Recorder collects sim-time-stamped trace events.
+//
+// A Recorder is intentionally not synchronized: each simulation kernel is
+// single-goroutine by design (the experiment engine parallelizes across
+// kernels, never within one), so a Recorder must be attached to exactly
+// one kernel's components. Parallel sweeps that want traces attach one
+// Recorder per point.
+type Recorder struct {
+	tracks []string
+	events []event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Track registers a new timeline lane and returns its id. Tracks appear in
+// the exported trace in registration order.
+func (r *Recorder) Track(name string) TrackID {
+	r.tracks = append(r.tracks, name)
+	return TrackID(len(r.tracks) - 1)
+}
+
+// Tracks reports the number of registered tracks.
+func (r *Recorder) Tracks() int { return len(r.tracks) }
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Span records a complete slice [start, end) on the track. Spans may be
+// recorded at the moment they end (the natural point for a state machine
+// that learns durations retroactively); export order is record order and
+// the format does not require time-sorted events.
+func (r *Recorder) Span(track TrackID, start, end sim.Time, name string) {
+	r.events = append(r.events, event{ph: phSpan, track: track, at: start, dur: end - start, name: name})
+}
+
+// Begin opens a slice on the track. Slices on one track must nest; an
+// unmatched Begin stays open to the end of the trace, which Perfetto
+// renders as running off the right edge — exactly right for "the state the
+// device was left in".
+func (r *Recorder) Begin(track TrackID, at sim.Time, name string) {
+	r.events = append(r.events, event{ph: phBegin, track: track, at: at, name: name})
+}
+
+// End closes the innermost open slice on the track.
+func (r *Recorder) End(track TrackID, at sim.Time) {
+	r.events = append(r.events, event{ph: phEnd, track: track, at: at})
+}
+
+// Instant records a zero-duration event on the track.
+func (r *Recorder) Instant(track TrackID, at sim.Time, name string) {
+	r.events = append(r.events, event{ph: phInstant, track: track, at: at, name: name})
+}
+
+// Counter records a sample of the track's counter series; the track name is
+// the series name. Callers that sample a mostly-flat signal should record
+// only on change — the meter does — so a 50 kSa/s waveform costs one event
+// per plateau rather than one per sample.
+func (r *Recorder) Counter(track TrackID, at sim.Time, value float64) {
+	r.events = append(r.events, event{ph: phCounter, track: track, at: at, value: value})
+}
+
+// ObserveScheduler wires the kernel's dispatch hook to an instant event per
+// fired simulation event on the given track. This is the firehose view —
+// every timer tick and meter sample becomes an event — so figure-scale runs
+// keep it off and debugging sessions (wile-trace -sched) turn it on.
+func ObserveScheduler(r *Recorder, sched *sim.Scheduler, track TrackID) {
+	sched.OnDispatch = func(at sim.Time) { r.Instant(track, at, "dispatch") }
+}
+
+// WriteChromeTrace exports the recorded events as Chrome trace-event JSON
+// (the "JSON Array Format" with a traceEvents wrapper), ready for
+// https://ui.perfetto.dev or chrome://tracing. The output is a pure
+// function of the recorded events: two identical simulations export
+// byte-identical traces.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	bw.printf("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"wile-sim\"}}")
+	for i, name := range r.tracks {
+		bw.printf(",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}", i+1, quote(name))
+		bw.printf(",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%d}}", i+1, i+1)
+	}
+	for _, e := range r.events {
+		tid := int(e.track) + 1
+		switch e.ph {
+		case phSpan:
+			bw.printf(",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%s}",
+				tid, micros(e.at), micros(e.dur), quote(e.name))
+		case phBegin:
+			bw.printf(",\n{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":%s}",
+				tid, micros(e.at), quote(e.name))
+		case phEnd:
+			bw.printf(",\n{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%s}", tid, micros(e.at))
+		case phInstant:
+			bw.printf(",\n{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":%s}",
+				tid, micros(e.at), quote(e.name))
+		case phCounter:
+			// Counter series attach to the process; the track name is the
+			// series name and the single sampled value its only lane.
+			bw.printf(",\n{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%s,\"name\":%s,\"args\":{\"value\":%s}}",
+				micros(e.at), quote(r.tracks[e.track]), formatValue(e.value))
+		}
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+// micros renders a sim.Time (nanoseconds) as the microsecond timestamps the
+// trace format uses, with the sub-microsecond remainder as three fixed
+// decimals so distinct virtual instants never collapse.
+func micros(t sim.Time) string {
+	us, ns := t/1000, t%1000
+	return fmt.Sprintf("%d.%03d", us, ns)
+}
+
+// quote JSON-escapes a track or event name.
+func quote(s string) string { return strconv.Quote(s) }
+
+// formatValue renders a counter sample with the shortest round-trip float
+// formatting, which is deterministic for a given bit pattern.
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// errWriter latches the first write error so export code reads linearly.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

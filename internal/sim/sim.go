@@ -107,6 +107,13 @@ func (h *eventHeap) Pop() any {
 // Scheduler owns the virtual clock and the pending event set.
 // The zero value is ready to use.
 type Scheduler struct {
+	// OnDispatch, when non-nil, observes every fired event just after the
+	// clock advances to its timestamp and before its callback runs. It is
+	// the kernel's observability hook (obs.ObserveScheduler wires it to a
+	// trace recorder); a nil hook costs one branch per dispatch and no
+	// allocations. The hook must not schedule or cancel events.
+	OnDispatch func(at Time)
+
 	now    Time
 	seq    uint64
 	events eventHeap
@@ -210,6 +217,9 @@ func (s *Scheduler) Step() bool {
 	e := heap.Pop(&s.events).(*Event)
 	s.now = e.at
 	s.fired++
+	if s.OnDispatch != nil {
+		s.OnDispatch(e.at)
+	}
 	fn := e.fn
 	if e.pooled {
 		// Recycle before running fn so a callback that schedules another

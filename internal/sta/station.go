@@ -26,6 +26,7 @@ import (
 	"wile/internal/mac"
 	"wile/internal/medium"
 	"wile/internal/netstack"
+	"wile/internal/obs"
 	"wile/internal/phy"
 	"wile/internal/sim"
 )
@@ -241,6 +242,25 @@ func New(sched *sim.Scheduler, med *medium.Medium, cfg Config) *Station {
 	s.Port.Radio = s.Dev
 	s.Port.Handler = s.handle
 	return s
+}
+
+// TraceTo attaches the station's device and MAC to a trace recorder,
+// registering one track per layer. Join phases arrive as instants through
+// the device's MarkPhase calls. Passing a nil recorder detaches.
+func (s *Station) TraceTo(r *obs.Recorder) {
+	if r == nil {
+		s.Dev.TraceTo(nil, 0)
+		s.Port.TraceTo(nil, 0)
+		return
+	}
+	name := "sta:" + s.Cfg.Addr.String()
+	s.Dev.TraceTo(r, r.Track(name+" power"))
+	s.Port.TraceTo(r, r.Track(name+" mac"))
+}
+
+// Observe mirrors the station's MAC counters into the registry.
+func (s *Station) Observe(reg *obs.Registry) {
+	s.Port.Metrics = mac.MetricsFor(reg)
 }
 
 // countSent/countReceived update JoinFrames while a join is in flight.

@@ -6,6 +6,12 @@
 // <name>/serial and <name>/parallel sub-benchmarks, so a future PR can
 // diff both the paper's reproduced quantities and the engine's scaling
 // against this baseline with jq alone.
+//
+// Two further derivations support the observability layer's zero-cost
+// contract: every BenchmarkObsDisabled/<X> sub-benchmark is paired with
+// its reference Benchmark<X> from the same run (obs_pairs, with the
+// allocation delta the disabled path added), and -baseline diffs the whole
+// run against a previously recorded baseline file (deltas_vs_baseline).
 package main
 
 import (
@@ -44,6 +50,26 @@ type Speedup struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// ObsPair compares an ObsDisabled sub-benchmark with its reference
+// benchmark from the same run. AddedAllocsPerOp must stay 0: the disabled
+// observability path is contractually free of allocations.
+type ObsPair struct {
+	Benchmark        string  `json:"benchmark"`
+	DisabledNsPerOp  float64 `json:"disabled_ns_per_op"`
+	ReferenceNsPerOp float64 `json:"reference_ns_per_op"`
+	AddedAllocsPerOp float64 `json:"added_allocs_per_op"`
+}
+
+// Delta is one benchmark's movement against a previous baseline file.
+type Delta struct {
+	Name string `json:"name"`
+	// NsPerOpPct is the relative ns/op change ((new-old)/old, percent).
+	NsPerOpPct float64 `json:"ns_per_op_pct"`
+	// AllocsPerOpDiff is the absolute allocs/op change, when both runs
+	// recorded it.
+	AllocsPerOpDiff *float64 `json:"allocs_per_op_diff,omitempty"`
+}
+
 // Baseline is the output document.
 type Baseline struct {
 	Source     string      `json:"source"`
@@ -52,19 +78,22 @@ type Baseline struct {
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Speedups   []Speedup   `json:"speedups,omitempty"`
+	ObsPairs   []ObsPair   `json:"obs_pairs,omitempty"`
+	Deltas     []Delta     `json:"deltas_vs_baseline,omitempty"`
 }
 
 func main() {
 	in := flag.String("in", "results/bench_output.txt", "bench output to parse")
 	out := flag.String("out", "BENCH_baseline.json", "JSON file to write")
+	baseline := flag.String("baseline", "", "previous baseline JSON to diff ns/op and allocs/op against")
 	flag.Parse()
-	if err := run(*in, *out); err != nil {
+	if err := run(*in, *out, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string) error {
+func run(in, out, baseline string) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -97,6 +126,14 @@ func run(in, out string) error {
 		return fmt.Errorf("no benchmark lines found in %s", in)
 	}
 	base.Speedups = deriveSpeedups(base.Benchmarks)
+	base.ObsPairs = deriveObsPairs(base.Benchmarks)
+	if baseline != "" {
+		deltas, err := deriveDeltas(baseline, base.Benchmarks)
+		if err != nil {
+			return err
+		}
+		base.Deltas = deltas
+	}
 
 	buf, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
@@ -157,6 +194,68 @@ func splitProcs(name string) (string, int) {
 		return name, 1
 	}
 	return name[:i], n
+}
+
+// deriveObsPairs matches BenchmarkObsDisabled/<X> with Benchmark<X> from
+// the same run.
+func deriveObsPairs(bs []Benchmark) []ObsPair {
+	byName := make(map[string]Benchmark, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	var out []ObsPair
+	for _, b := range bs {
+		rest, ok := strings.CutPrefix(b.Name, "BenchmarkObsDisabled/")
+		if !ok {
+			continue
+		}
+		ref, ok := byName["Benchmark"+rest]
+		if !ok {
+			continue
+		}
+		pair := ObsPair{
+			Benchmark:        "Benchmark" + rest,
+			DisabledNsPerOp:  b.NsPerOp,
+			ReferenceNsPerOp: ref.NsPerOp,
+		}
+		if b.AllocsPerOp != nil && ref.AllocsPerOp != nil {
+			pair.AddedAllocsPerOp = *b.AllocsPerOp - *ref.AllocsPerOp
+		}
+		out = append(out, pair)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Benchmark < out[j].Benchmark })
+	return out
+}
+
+// deriveDeltas diffs the current run against a previously written baseline
+// file, for the benchmarks present in both.
+func deriveDeltas(path string, bs []Benchmark) ([]Delta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prev Baseline
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	old := make(map[string]Benchmark, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		old[b.Name] = b
+	}
+	var out []Delta
+	for _, b := range bs {
+		o, ok := old[b.Name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		d := Delta{Name: b.Name, NsPerOpPct: (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100}
+		if b.AllocsPerOp != nil && o.AllocsPerOp != nil {
+			d.AllocsPerOpDiff = ptr(*b.AllocsPerOp - *o.AllocsPerOp)
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
 }
 
 // deriveSpeedups pairs <name>/serial with <name>/parallel results.
