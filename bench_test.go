@@ -24,60 +24,61 @@ import (
 	"wile/internal/engine"
 	"wile/internal/experiment"
 	"wile/internal/obs"
+	"wile/internal/units"
 )
 
 // --- Table 1 ---
 
 func BenchmarkTable1EnergyPerPacketWiLE(b *testing.B) {
 	b.ReportAllocs()
-	var energy float64
+	var energy units.Joules
 	for i := 0; i < b.N; i++ {
 		ep, _, err := experiment.MeasureWiLE()
 		if err != nil {
 			b.Fatal(err)
 		}
-		energy = ep.EnergyJ
+		energy = ep.Energy
 	}
-	b.ReportMetric(energy*1e6, "µJ/pkt")
+	b.ReportMetric(energy.Micro(), "µJ/pkt")
 }
 
 func BenchmarkTable1EnergyPerPacketBLE(b *testing.B) {
 	b.ReportAllocs()
-	var energy float64
+	var energy units.Joules
 	for i := 0; i < b.N; i++ {
 		ep, err := experiment.MeasureBLE()
 		if err != nil {
 			b.Fatal(err)
 		}
-		energy = ep.EnergyJ
+		energy = ep.Energy
 	}
-	b.ReportMetric(energy*1e6, "µJ/pkt")
+	b.ReportMetric(energy.Micro(), "µJ/pkt")
 }
 
 func BenchmarkTable1EnergyPerPacketWiFiDC(b *testing.B) {
 	b.ReportAllocs()
-	var energy float64
+	var energy units.Joules
 	for i := 0; i < b.N; i++ {
 		ep, err := experiment.MeasureWiFiDC()
 		if err != nil {
 			b.Fatal(err)
 		}
-		energy = ep.EnergyJ
+		energy = ep.Energy
 	}
-	b.ReportMetric(energy*1e3, "mJ/pkt")
+	b.ReportMetric(energy.Milli(), "mJ/pkt")
 }
 
 func BenchmarkTable1EnergyPerPacketWiFiPS(b *testing.B) {
 	b.ReportAllocs()
-	var energy float64
+	var energy units.Joules
 	for i := 0; i < b.N; i++ {
 		ep, err := experiment.MeasureWiFiPS()
 		if err != nil {
 			b.Fatal(err)
 		}
-		energy = ep.EnergyJ
+		energy = ep.Energy
 	}
-	b.ReportMetric(energy*1e3, "mJ/pkt")
+	b.ReportMetric(energy.Milli(), "mJ/pkt")
 }
 
 // --- Figure 3 ---
@@ -92,7 +93,7 @@ func BenchmarkFig3aWiFiJoinTrace(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(tr.EnergyJ*1e3, "mJ/cycle")
+	b.ReportMetric(tr.Energy.Milli(), "mJ/cycle")
 	if txAt, _, ok := tr.PhaseBounds("Tx"); ok {
 		b.ReportMetric(txAt.Seconds(), "tx-at-s")
 	}
@@ -109,7 +110,7 @@ func BenchmarkFig3bWiLETrace(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(tr.EnergyJ*1e3, "mJ/cycle")
+	b.ReportMetric(tr.Energy.Milli(), "mJ/cycle")
 }
 
 // --- Figure 4 ---
@@ -160,8 +161,8 @@ func BenchmarkAblationBitrateSweep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(pts[0].EnergyJ*1e6, "µJ@1Mbps")
-	b.ReportMetric(pts[len(pts)-1].EnergyJ*1e6, "µJ@72Mbps")
+	b.ReportMetric(pts[0].Energy.Micro(), "µJ@1Mbps")
+	b.ReportMetric(pts[len(pts)-1].Energy.Micro(), "µJ@72Mbps")
 }
 
 func BenchmarkAblationPayloadSweep(b *testing.B) {
@@ -288,7 +289,7 @@ func BenchmarkAblationFastRejoin(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(ep.EnergyJ*1e3, "mJ/pkt")
+	b.ReportMetric(ep.Energy.Milli(), "mJ/pkt")
 }
 
 func BenchmarkAblationHopperStudy(b *testing.B) {

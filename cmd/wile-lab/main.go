@@ -29,6 +29,7 @@ import (
 	"wile/internal/experiment"
 	"wile/internal/obs"
 	"wile/internal/pcap"
+	"wile/internal/units"
 )
 
 func main() {
@@ -140,7 +141,7 @@ func fig3(out, name string, runner func(*experiment.Obs) (*experiment.Trace, err
 		return err
 	}
 	fmt.Printf("Figure %s (energy over the 2 s window: %s)\n",
-		name[3:], energy.FormatJoules(tr.EnergyJ))
+		name[3:], energy.FormatJoules(tr.Energy))
 	tr.RenderASCII(os.Stdout, 78, 14)
 	path := filepath.Join(out, name+".csv")
 	if err := writeFile(path, tr.WriteCSV); err != nil {
@@ -189,12 +190,12 @@ func ablations() error {
 	fmt.Printf("%8s %6s %8s %10s %12s\n", "payload", "frags", "beacon", "airtime", "energy")
 	for _, p := range payload {
 		fmt.Printf("%7dB %6d %7dB %10s %12s\n",
-			p.PayloadBytes, p.Fragments, p.BeaconBytes, p.Airtime, energy.FormatJoules(p.EnergyJ))
+			p.PayloadBytes, p.Fragments, p.BeaconBytes, p.Airtime, energy.FormatJoules(p.Energy))
 	}
 
 	fmt.Println("\nAblation: WiFi-PS idle current vs listen interval (Table 1 uses LI=3)")
 	for _, p := range experiment.RunListenIntervalAblation() {
-		fmt.Printf("  LI=%-2d  %s\n", p.ListenInterval, energy.FormatAmps(p.IdleCurrentA))
+		fmt.Printf("  LI=%-2d  %s\n", p.ListenInterval, energy.FormatAmps(p.IdleCurrent))
 	}
 
 	fmt.Println("\nStudy: §6 clock-jitter self-desynchronization (2 co-periodic sensors)")
@@ -223,7 +224,7 @@ func ablations() error {
 	fmt.Printf("  %-16s %6s %10s %10s  %s\n", "carrier", "bytes", "airtime", "energy", "stock receivers")
 	for _, c := range carriers {
 		fmt.Printf("  %-16s %5dB %10s %10s  %s\n",
-			c.Carrier, c.Bytes, c.Airtime, energy.FormatJoules(c.EnergyJ), c.Receivable)
+			c.Carrier, c.Bytes, c.Airtime, energy.FormatJoules(c.Energy), c.Receivable)
 	}
 
 	ssid, err := experiment.RunHiddenSSIDAblation()
@@ -252,9 +253,9 @@ func ablations() error {
 		return err
 	}
 	fmt.Println("\nAblation: cached-lease fast rejoin (skip DHCP/ARP on wake)")
-	fmt.Printf("  full rejoin   %s over %v\n", energy.FormatJoules(dc.EnergyJ), dc.Duration.Round(time.Millisecond))
+	fmt.Printf("  full rejoin   %s over %v\n", energy.FormatJoules(dc.Energy), dc.Duration.Round(time.Millisecond))
 	fmt.Printf("  cached lease  %s over %v — still ≈3 orders above Wi-LE\n",
-		energy.FormatJoules(fast.EnergyJ), fast.Duration.Round(time.Millisecond))
+		energy.FormatJoules(fast.Energy), fast.Duration.Round(time.Millisecond))
 
 	good, err := experiment.RunGoodputStudy()
 	if err != nil {
@@ -280,18 +281,19 @@ func ablations() error {
 	fmt.Printf("  at  1-minute reporting: ~%d devices/channel\n", cap1.MaxAt10Util)
 
 	fmt.Println("\nFeasibility: sourcing the 180 mA WiFi transmit burst")
-	const brownoutV = 2.43
+	const brownoutV = units.Volts(2.43)
+	const txBurst = units.Amps(0.18)
 	burst := 150 * time.Microsecond
 	for _, chem := range []battery.Chemistry{battery.CR2032, battery.AA2, battery.LiSOCl2AA} {
 		cell := battery.NewCell(chem)
-		if cell.CanSupply(0.18, brownoutV) {
+		if cell.CanSupply(txBurst, brownoutV) {
 			fmt.Printf("  %-12s supplies the burst directly (rail %.2f V)\n",
-				chem.Name, cell.TerminalV(0.18))
+				chem.Name, float64(cell.TerminalV(txBurst)))
 			continue
 		}
-		need := battery.MinCapacitorFarads(cell.TerminalV(0), brownoutV, 0.18, burst)
+		need := battery.MinCapacitor(cell.TerminalV(0), brownoutV, txBurst, burst)
 		fmt.Printf("  %-12s sags to %.2f V — needs a ≥%.0f µF bulk capacitor\n",
-			chem.Name, cell.TerminalV(0.18), need*1e6)
+			chem.Name, float64(cell.TerminalV(txBurst)), need.Micro())
 	}
 	return nil
 }

@@ -64,5 +64,5 @@ func main() {
 	fmt.Printf("\n6 hours: %d batches queued, %d delivered, %d retransmissions, %d pending, %d lost\n",
 		reliable.Stats.Queued, reliable.Stats.Delivered,
 		reliable.Stats.Retransmitted, reliable.Pending(), reliable.Stats.GivenUp)
-	fmt.Printf("device energy for the whole story: %.1f mJ\n", meterSensor.Dev.EnergyJ()*1000)
+	fmt.Printf("device energy for the whole story: %.1f mJ\n", meterSensor.Dev.Energy().Milli())
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"wile"
+	"wile/internal/units"
 )
 
 func main() {
@@ -50,7 +51,7 @@ func main() {
 
 	fmt.Println()
 	fmt.Printf("one hour of reporting: %d messages, device spent %.2f mJ total\n",
-		sensor.Stats.Messages, sensor.Dev.EnergyJ()*1000)
+		sensor.Stats.Messages, sensor.Dev.Energy().Milli())
 	fmt.Printf("average power: %.2f µW — a CR2032 coin cell lasts years at this rate\n",
-		sensor.Dev.EnergyJ()/3600*1e6)
+		units.AveragePower(sensor.Dev.Energy(), time.Hour).Micro())
 }

@@ -6,6 +6,7 @@ import (
 
 	"wile/internal/phy"
 	"wile/internal/sim"
+	"wile/internal/units"
 )
 
 type config struct {
@@ -43,4 +44,50 @@ func implicit(sched *sim.Scheduler) {
 
 func suppressed() sim.Time {
 	return sim.Time(123456789) //wile:allow unitsafety -- fixture: directive suppression
+}
+
+// --- units.* types: bare literals may not become dimensioned quantities ---
+
+type budget struct {
+	Limit units.Joules
+	Rail  units.Volts
+}
+
+func dimensioned() {
+	var e units.Joules = 84 // want `bare numeral 84 initializing units.Joules`
+	e = 12                  // want `bare numeral 12 assigned to units.Joules`
+	b := budget{Limit: 7}   // want `bare numeral 7 assigned to field Limit of units.Joules`
+	b.Rail = 3.3            // want `bare numeral 3.3 assigned to units.Volts`
+	_ = units.Joules(1.5)   // ok: explicit constructor-style conversion
+	_ = units.MicroJoules(84)
+	_ = 2 * e // ok: scalar constant scaling
+	_, _ = e, b
+}
+
+// --- same-unit arithmetic must go through the units helpers ---
+
+func arithmetic(j1, j2 units.Joules, t1, t2 sim.Time) {
+	_ = j1 * j2 // want `multiplying two units.Joules values has no representable dimension`
+	_ = j1 / j2 // want `dividing two units.Joules values yields a dimensionless ratio`
+	_ = t1 / t2 // want `dividing two sim.Time values yields a dimensionless ratio`
+	_ = 2 * j1  // ok: constant scalar
+	_ = j1 / 4  // ok: constant divisor
+	_ = units.Ratio(j1, j2)
+	_ = units.Scale(j1, 0.5)
+}
+
+// --- unit-suffixed float64 declarations belong in the type system ---
+
+type measurements struct {
+	EnergyJ     float64 // want `field EnergyJ is a bare float64 with a unit-suffixed name; declare it as units.Joules`
+	CapacityMAh float64 // want `field CapacityMAh is a bare float64 with a unit-suffixed name; declare it as units.AmpHours`
+	SenseOhms   float64 // want `field SenseOhms is a bare float64 with a unit-suffixed name; declare it as units.Ohms`
+	V           float64 // ok: a single-letter name has no stem to read a unit from
+	NAV         float64 // ok: acronym, not a volts suffix
+	Ratio       float64 // ok: dimensionless
+	Energy      units.Joules
+}
+
+func drain(loadA float64, railV float64) (spentJ float64) { // want `parameter loadA is a bare float64 with a unit-suffixed name; declare it as units.Amps` `parameter railV is a bare float64 with a unit-suffixed name; declare it as units.Volts` `result spentJ is a bare float64 with a unit-suffixed name; declare it as units.Joules`
+	return loadA * railV
 }

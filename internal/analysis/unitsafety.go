@@ -5,6 +5,8 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"strings"
+	"unicode"
 )
 
 // UnitSafety keeps bare numerals out of unit-typed quantities. A literal
@@ -17,23 +19,31 @@ import (
 //     sim.FromDuration(d) instead);
 //   - bare literal constants may not flow implicitly into unit-typed
 //     function arguments, struct fields, assignments or composite-literal
-//     elements — spell the unit out at the call site.
+//     elements — spell the unit out at the call site;
+//   - in wile/internal packages, struct fields and function parameters
+//     declared as bare float64 but named with a unit suffix (EnergyJ,
+//     loadA, CapacityMAh, ...) are flagged: the matching internal/units
+//     type carries the dimension in the type system instead of the name;
+//   - multiplying two values of the same unit type is dimensionally
+//     meaningless (J·J), and dividing them yields a dimensionless ratio
+//     still wearing the unit — both must go through the units helpers
+//     (units.Scale, units.Ratio) or a dedicated product helper.
 //
 // Zero is exempt (zero-value initialization is unambiguous), as are the
 // packages that define the units and their constructors.
 var UnitSafety = &Analyzer{
 	Name: "unitsafety",
-	Doc: "forbid bare numeric literals becoming unit-typed values (sim.Time, phy.DBm); " +
-		"quantities must be built from named unit constants or constructors",
+	Doc: "forbid bare numeric literals becoming unit-typed values (sim.Time, phy.DBm, units.*); " +
+		"flag unit-suffixed float64 declarations and cross-unit arithmetic that bypasses the units helpers",
 	Run: runUnitSafety,
 }
 
 // unitHomePackages define the unit types and their constructor helpers;
 // inside them, raw numerals are the implementation.
 var unitHomePackages = map[string]bool{
-	"wile/internal/sim":    true,
-	"wile/internal/phy":    true,
-	"wile/internal/energy": true,
+	"wile/internal/sim":   true,
+	"wile/internal/phy":   true,
+	"wile/internal/units": true,
 }
 
 // unitTypeName reports the display name of t if it is one of the guarded
@@ -52,6 +62,36 @@ func unitTypeName(t types.Type) string {
 		return "sim.Time"
 	case obj.Pkg().Path() == "wile/internal/phy" && obj.Name() == "DBm":
 		return "phy.DBm"
+	case obj.Pkg().Path() == "wile/internal/units":
+		return "units." + obj.Name()
+	}
+	return ""
+}
+
+// unitSuffixes maps bare-float64 declaration-name suffixes to the
+// dimensioned type that should replace the float. Longer suffixes match
+// first so CapacityMAh resolves to amp-hours, not amps.
+var unitSuffixes = []struct {
+	suffix, unit string
+}{
+	{"MAh", "units.AmpHours"},
+	{"Ohms", "units.Ohms"},
+	{"J", "units.Joules"},
+	{"A", "units.Amps"},
+	{"V", "units.Volts"},
+	{"W", "units.Watts"},
+}
+
+// unitSuffixOf reports the suggested unit type for a name that ends in a
+// unit suffix, else "". The character before the suffix must be lowercase:
+// that catches loadA/EnergyJ/CapacityMAh while exempting acronyms (NAV,
+// CCA) and single-letter names like V.
+func unitSuffixOf(name string) string {
+	for _, s := range unitSuffixes {
+		if len(name) > len(s.suffix) && strings.HasSuffix(name, s.suffix) &&
+			unicode.IsLower(rune(name[len(name)-len(s.suffix)-1])) {
+			return s.unit
+		}
 	}
 	return ""
 }
@@ -70,6 +110,11 @@ func runUnitSafety(pass *Pass) error {
 				checkUnitCompositeLit(pass, n)
 			case *ast.BinaryExpr:
 				checkUnitBinary(pass, n)
+			case *ast.StructType:
+				checkUnitSuffixNames(pass, n.Fields, "field")
+			case *ast.FuncType:
+				checkUnitSuffixNames(pass, n.Params, "parameter")
+				checkUnitSuffixNames(pass, n.Results, "result")
 			case *ast.AssignStmt:
 				for i, lhs := range n.Lhs {
 					if i >= len(n.Rhs) {
@@ -153,14 +198,36 @@ func checkUnitCall(pass *Pass, call *ast.CallExpr) {
 // checkUnitBinary flags additive arithmetic and comparisons that mix a
 // unit-typed operand with a bare numeral: t + 5000 adds five thousand raw
 // nanoseconds. Multiplication and division by a dimensionless scalar
-// (2*timeout) are legitimate and stay legal.
+// (2*timeout) are legitimate and stay legal; multiplication and division
+// of two same-unit dynamic values are not — J·J has no dimension the
+// types can express, and J/J is a ratio that should shed its unit through
+// units.Ratio rather than masquerade as joules.
 func checkUnitBinary(pass *Pass, b *ast.BinaryExpr) {
+	info := pass.Pkg.Info
 	switch b.Op {
 	case token.ADD, token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+	case token.MUL, token.QUO:
+		xt, yt := info.TypeOf(b.X), info.TypeOf(b.Y)
+		if xt == nil || yt == nil {
+			return
+		}
+		unit := unitTypeName(xt)
+		if unit == "" || unitTypeName(yt) != unit {
+			return
+		}
+		xv, yv := info.Types[b.X], info.Types[b.Y]
+		if xv.Value != nil || yv.Value != nil {
+			return // constant scaling (2*x, x/4) keeps its dimension
+		}
+		if b.Op == token.MUL {
+			pass.Reportf(b.Pos(), "multiplying two %s values has no representable dimension; use a units helper (units.Scale for scalar scaling, or a dedicated product helper)", unit)
+		} else {
+			pass.Reportf(b.Pos(), "dividing two %s values yields a dimensionless ratio still typed %s; use units.Ratio", unit, unit)
+		}
+		return
 	default:
 		return
 	}
-	info := pass.Pkg.Info
 	check := func(unitSide, litSide ast.Expr) {
 		t := info.TypeOf(unitSide)
 		if t == nil {
@@ -172,6 +239,31 @@ func checkUnitBinary(pass *Pass, b *ast.BinaryExpr) {
 	}
 	check(b.X, b.Y)
 	check(b.Y, b.X)
+}
+
+// checkUnitSuffixNames flags bare-float64 struct fields, parameters and
+// results in wile/internal packages whose names end in a unit suffix: the
+// name says "this is joules" while the type says "this is any number".
+func checkUnitSuffixNames(pass *Pass, fl *ast.FieldList, kind string) {
+	if fl == nil || !isInternalPkg(pass.Pkg.PkgPath) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range fl.List {
+		t := info.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		basic, ok := t.(*types.Basic)
+		if !ok || basic.Kind() != types.Float64 {
+			continue
+		}
+		for _, name := range f.Names {
+			if unit := unitSuffixOf(name.Name); unit != "" {
+				pass.Reportf(name.Pos(), "%s %s is a bare float64 with a unit-suffixed name; declare it as %s", kind, name.Name, unit)
+			}
+		}
+	}
 }
 
 func checkUnitCompositeLit(pass *Pass, lit *ast.CompositeLit) {

@@ -15,52 +15,53 @@ package battery
 
 import (
 	"fmt"
-	"math"
 	"time"
+
+	"wile/internal/units"
 )
 
 // Chemistry describes one battery type.
 type Chemistry struct {
 	Name string
 	// NominalV is the open-circuit voltage when full.
-	NominalV float64
+	NominalV units.Volts
 	// CutoffV is the terminal voltage at which the cell is spent.
-	CutoffV float64
-	// CapacityMAh is the rated capacity at low drain.
-	CapacityMAh float64
+	CutoffV units.Volts
+	// Capacity is the rated capacity at low drain.
+	Capacity units.AmpHours
 	// InternalOhms is the fresh-cell internal resistance.
-	InternalOhms float64
+	InternalOhms units.Ohms
 	// EndOfLifeOhms is the internal resistance near depletion (coin cells
 	// roughly triple).
-	EndOfLifeOhms float64
+	EndOfLifeOhms units.Ohms
 }
 
 // Standard cells used by the examples and projections.
 var (
 	// CR2032: the "small button battery" of the paper's BLE claim.
 	CR2032 = Chemistry{
-		Name: "CR2032", NominalV: 3.0, CutoffV: 2.0,
-		CapacityMAh: 225, InternalOhms: 15, EndOfLifeOhms: 50,
+		Name: "CR2032", NominalV: units.Volts(3.0), CutoffV: units.Volts(2.0),
+		Capacity: units.MilliAmpHours(225), InternalOhms: units.Ohms(15), EndOfLifeOhms: units.Ohms(50),
 	}
 	// AA2 is a pair of alkaline AAs in series — what ESP32 sensor designs
 	// actually ship with.
 	AA2 = Chemistry{
-		Name: "2×AA", NominalV: 3.0, CutoffV: 2.2,
-		CapacityMAh: 2500, InternalOhms: 0.3, EndOfLifeOhms: 1.0,
+		Name: "2×AA", NominalV: units.Volts(3.0), CutoffV: units.Volts(2.2),
+		Capacity: units.MilliAmpHours(2500), InternalOhms: units.Ohms(0.3), EndOfLifeOhms: units.Ohms(1.0),
 	}
 	// LiSOCl2AA is a lithium thionyl chloride AA, the long-life industrial
 	// IoT favourite.
 	LiSOCl2AA = Chemistry{
-		Name: "Li-SOCl2 AA", NominalV: 3.6, CutoffV: 3.0,
-		CapacityMAh: 2400, InternalOhms: 20, EndOfLifeOhms: 60,
+		Name: "Li-SOCl2 AA", NominalV: units.Volts(3.6), CutoffV: units.Volts(3.0),
+		Capacity: units.MilliAmpHours(2400), InternalOhms: units.Ohms(20), EndOfLifeOhms: units.Ohms(60),
 	}
 )
 
 // Cell is one discharging battery.
 type Cell struct {
 	Chem Chemistry
-	// drawnMAh accumulates delivered charge.
-	drawnMAh float64
+	// drawn accumulates delivered charge.
+	drawn units.AmpHours
 }
 
 // NewCell returns a fresh cell.
@@ -68,41 +69,44 @@ func NewCell(chem Chemistry) *Cell { return &Cell{Chem: chem} }
 
 // StateOfCharge reports the remaining fraction (0..1).
 func (c *Cell) StateOfCharge() float64 {
-	soc := 1 - c.drawnMAh/c.Chem.CapacityMAh
-	return math.Max(0, soc)
+	soc := 1 - units.Ratio(c.drawn, c.Chem.Capacity)
+	if soc < 0 {
+		return 0
+	}
+	return soc
 }
 
 // internalOhms interpolates resistance with depletion.
-func (c *Cell) internalOhms() float64 {
+func (c *Cell) internalOhms() units.Ohms {
 	soc := c.StateOfCharge()
-	return c.Chem.EndOfLifeOhms + (c.Chem.InternalOhms-c.Chem.EndOfLifeOhms)*soc
+	return c.Chem.EndOfLifeOhms + units.Scale(c.Chem.InternalOhms-c.Chem.EndOfLifeOhms, soc)
 }
 
 // openCircuitV models the gentle voltage slope over discharge.
-func (c *Cell) openCircuitV() float64 {
+func (c *Cell) openCircuitV() units.Volts {
 	soc := c.StateOfCharge()
 	// Flat-ish plateau dropping toward cutoff in the last 20%.
 	if soc > 0.2 {
-		return c.Chem.NominalV - 0.1*(1-soc)
+		return c.Chem.NominalV - units.Scale(units.Volts(0.1), 1-soc)
 	}
-	plateau := c.Chem.NominalV - 0.08
-	return c.Chem.CutoffV + (plateau-c.Chem.CutoffV)*(soc/0.2)
+	plateau := c.Chem.NominalV - units.Volts(0.08)
+	return c.Chem.CutoffV + units.Scale(plateau-c.Chem.CutoffV, soc/0.2)
 }
 
 // TerminalV reports the loaded terminal voltage at the given draw.
-func (c *Cell) TerminalV(loadA float64) float64 {
-	return c.openCircuitV() - loadA*c.internalOhms()
+func (c *Cell) TerminalV(load units.Amps) units.Volts {
+	return c.openCircuitV() - units.IRDrop(load, c.internalOhms())
 }
 
 // CanSupply reports whether the cell holds the rail above minV at the
 // given draw.
-func (c *Cell) CanSupply(loadA, minV float64) bool {
-	return c.StateOfCharge() > 0 && c.TerminalV(loadA) >= minV
+func (c *Cell) CanSupply(load units.Amps, minV units.Volts) bool {
+	return c.StateOfCharge() > 0 && c.TerminalV(load) >= minV
 }
 
 // Drain removes charge for a draw sustained for d.
-func (c *Cell) Drain(loadA float64, d time.Duration) {
-	c.drawnMAh += loadA * 1000 * d.Hours()
+func (c *Cell) Drain(load units.Amps, d time.Duration) {
+	c.drawn += units.Charge(load, d).AmpHours()
 }
 
 // Depleted reports whether the cell can no longer hold the cutoff voltage
@@ -114,7 +118,7 @@ func (c *Cell) Depleted() bool {
 // String implements fmt.Stringer.
 func (c *Cell) String() string {
 	return fmt.Sprintf("%s: %.0f%% (%.1fΩ, %.2fV open-circuit)",
-		c.Chem.Name, c.StateOfCharge()*100, c.internalOhms(), c.openCircuitV())
+		c.Chem.Name, c.StateOfCharge()*100, float64(c.internalOhms()), float64(c.openCircuitV()))
 }
 
 // BulkCapacitor buffers transmit bursts: the cell charges it slowly
@@ -122,20 +126,20 @@ func (c *Cell) String() string {
 // standard fix for WiFi peaks on high-impedance cells.
 type BulkCapacitor struct {
 	// Farads is the capacitance.
-	Farads float64
+	Farads units.Farads
 	// V is the current capacitor voltage.
-	V float64
+	V units.Volts
 }
 
 // NewBulkCapacitor returns a capacitor charged to v.
-func NewBulkCapacitor(farads, v float64) *BulkCapacitor {
+func NewBulkCapacitor(farads units.Farads, v units.Volts) *BulkCapacitor {
 	return &BulkCapacitor{Farads: farads, V: v}
 }
 
 // SupplyBurst draws a constant current for d from the capacitor, returning
 // the ending voltage: V - I·t/C.
-func (b *BulkCapacitor) SupplyBurst(loadA float64, d time.Duration) float64 {
-	b.V -= loadA * d.Seconds() / b.Farads
+func (b *BulkCapacitor) SupplyBurst(load units.Amps, d time.Duration) units.Volts {
+	b.V -= units.Charge(load, d).Across(b.Farads)
 	if b.V < 0 {
 		b.V = 0
 	}
@@ -145,19 +149,17 @@ func (b *BulkCapacitor) SupplyBurst(loadA float64, d time.Duration) float64 {
 // Recharge restores the capacitor to the source voltage (the between-burst
 // trickle; at IoT duty cycles the recharge current is microamps and always
 // completes).
-func (b *BulkCapacitor) Recharge(sourceV float64) { b.V = sourceV }
+func (b *BulkCapacitor) Recharge(sourceV units.Volts) { b.V = sourceV }
 
 // BurstSurvivable reports whether a capacitor of the given size can hold
-// the rail above minV through one burst of loadA for d, starting from
+// the rail above minV through one burst of load for d, starting from
 // startV — the sizing equation C ≥ I·t/(Vstart−Vmin).
-func BurstSurvivable(farads, startV, minV, loadA float64, d time.Duration) bool {
-	return startV-loadA*d.Seconds()/farads >= minV
+func BurstSurvivable(farads units.Farads, startV, minV units.Volts, load units.Amps, d time.Duration) bool {
+	return startV-units.Charge(load, d).Across(farads) >= minV
 }
 
-// MinCapacitorFarads sizes the bulk capacitor for a burst.
-func MinCapacitorFarads(startV, minV, loadA float64, d time.Duration) float64 {
-	if startV <= minV {
-		return math.Inf(1)
-	}
-	return loadA * d.Seconds() / (startV - minV)
+// MinCapacitor sizes the bulk capacitor for a burst; +Inf when startV
+// does not clear minV.
+func MinCapacitor(startV, minV units.Volts, load units.Amps, d time.Duration) units.Farads {
+	return units.MinCapacitance(startV, minV, load, d)
 }

@@ -5,12 +5,14 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"wile/internal/units"
 )
 
 // ESP32 electrical facts used in the scenarios.
-const (
-	brownoutV  = 2.43 // ESP32 default brownout threshold
-	txBurstA   = 0.18
+var (
+	brownoutV  = units.Volts(2.43) // ESP32 default brownout threshold
+	txBurstA   = units.MilliAmps(180)
 	txBurstDur = 150 * time.Microsecond
 )
 
@@ -23,8 +25,8 @@ func TestFreshCellsStartFull(t *testing.T) {
 		if c.Depleted() {
 			t.Errorf("%s born depleted", chem.Name)
 		}
-		if v := c.TerminalV(0); math.Abs(v-chem.NominalV) > 0.01 {
-			t.Errorf("%s unloaded voltage %v", chem.Name, v)
+		if v := c.TerminalV(0); math.Abs(float64(v-chem.NominalV)) > 0.01 {
+			t.Errorf("%s unloaded voltage %v", chem.Name, float64(v))
 		}
 	}
 }
@@ -35,45 +37,45 @@ func TestCR2032CannotSupplyWiFiBurst(t *testing.T) {
 	// instant brownout. BLE's ≤20 mA peak survives easily.
 	c := NewCell(CR2032)
 	if c.CanSupply(txBurstA, brownoutV) {
-		t.Fatalf("CR2032 claims to supply 180 mA (terminal %.2f V)", c.TerminalV(txBurstA))
+		t.Fatalf("CR2032 claims to supply 180 mA (terminal %.2f V)", float64(c.TerminalV(txBurstA)))
 	}
-	if !c.CanSupply(0.020, brownoutV) {
-		t.Fatalf("CR2032 cannot even supply a BLE burst (terminal %.2f V)", c.TerminalV(0.020))
+	if !c.CanSupply(units.MilliAmps(20), brownoutV) {
+		t.Fatalf("CR2032 cannot even supply a BLE burst (terminal %.2f V)", float64(c.TerminalV(units.MilliAmps(20))))
 	}
 }
 
 func TestAAPairSuppliesWiFiBurstDirectly(t *testing.T) {
 	c := NewCell(AA2)
 	if !c.CanSupply(txBurstA, brownoutV) {
-		t.Fatalf("2×AA sags to %.2f V under TX", c.TerminalV(txBurstA))
+		t.Fatalf("2×AA sags to %.2f V under TX", float64(c.TerminalV(txBurstA)))
 	}
 }
 
 func TestBulkCapacitorFixesTheCoinCell(t *testing.T) {
 	// The standard fix: a bulk capacitor supplies the burst; the cell
 	// recharges it at microamp rates between 10-minute reports.
-	need := MinCapacitorFarads(3.0, brownoutV, txBurstA, txBurstDur)
+	need := MinCapacitor(units.Volts(3.0), brownoutV, txBurstA, txBurstDur)
 	// The sizing math: 0.18 A × 150 µs / 0.57 V ≈ 47 µF — a tiny ceramic.
-	if need > 100e-6 {
-		t.Fatalf("required capacitor %.0f µF implausibly large", need*1e6)
+	if need > units.MicroFarads(100) {
+		t.Fatalf("required capacitor %.0f µF implausibly large", need.Micro())
 	}
-	cap := NewBulkCapacitor(need*2, 3.0) // 2× margin
+	cap := NewBulkCapacitor(2*need, units.Volts(3.0)) // 2× margin
 	if v := cap.SupplyBurst(txBurstA, txBurstDur); v < brownoutV {
-		t.Fatalf("rail fell to %.2f V through the burst", v)
+		t.Fatalf("rail fell to %.2f V through the burst", float64(v))
 	}
-	cap.Recharge(3.0)
-	if cap.V != 3.0 {
+	cap.Recharge(units.Volts(3.0))
+	if cap.V != units.Volts(3.0) {
 		t.Fatal("recharge failed")
 	}
 	// Undersized capacitor fails, as the sizing equation predicts.
-	small := NewBulkCapacitor(need/4, 3.0)
+	small := NewBulkCapacitor(need/4, units.Volts(3.0))
 	if v := small.SupplyBurst(txBurstA, txBurstDur); v >= brownoutV {
-		t.Fatalf("undersized capacitor held %.2f V", v)
+		t.Fatalf("undersized capacitor held %.2f V", float64(v))
 	}
-	if BurstSurvivable(need/4, 3.0, brownoutV, txBurstA, txBurstDur) {
+	if BurstSurvivable(need/4, units.Volts(3.0), brownoutV, txBurstA, txBurstDur) {
 		t.Fatal("BurstSurvivable disagrees with SupplyBurst")
 	}
-	if !BurstSurvivable(need*2, 3.0, brownoutV, txBurstA, txBurstDur) {
+	if !BurstSurvivable(2*need, units.Volts(3.0), brownoutV, txBurstA, txBurstDur) {
 		t.Fatal("properly sized capacitor reported unsurvivable")
 	}
 }
@@ -82,30 +84,62 @@ func TestDrainDepletesCell(t *testing.T) {
 	c := NewCell(CR2032)
 	// 225 mAh at 1 mA lasts 225 h; drain 200 h and the cell is low but
 	// alive, drain past capacity and it is dead.
-	c.Drain(0.001, 200*time.Hour)
+	c.Drain(units.MilliAmps(1), 200*time.Hour)
 	if c.Depleted() {
 		t.Fatal("cell died early")
 	}
 	if soc := c.StateOfCharge(); math.Abs(soc-(1-200.0/225.0)) > 0.01 {
 		t.Fatalf("SoC = %v", soc)
 	}
-	c.Drain(0.001, 50*time.Hour)
+	c.Drain(units.MilliAmps(1), 50*time.Hour)
 	if !c.Depleted() {
 		t.Fatal("cell survived past its capacity")
+	}
+}
+
+// TestDrainConservation pins charge accounting: one long drain and the
+// same charge split into many short drains must land on the same state of
+// charge (to float accumulation tolerance) — the Drain bookkeeping may
+// not leak or double-count charge across call boundaries.
+func TestDrainConservation(t *testing.T) {
+	single := NewCell(CR2032)
+	single.Drain(units.MilliAmps(2), 50*time.Hour)
+
+	split := NewCell(CR2032)
+	for i := 0; i < 100; i++ {
+		split.Drain(units.MilliAmps(2), 30*time.Minute)
+	}
+	if s, p := single.StateOfCharge(), split.StateOfCharge(); math.Abs(s-p) > 1e-9 {
+		t.Fatalf("split drain SoC %v differs from single drain SoC %v", p, s)
+	}
+
+	// Property form: any partition of a fixed drain duration conserves.
+	f := func(cut uint16) bool {
+		d := 40 * time.Hour
+		first := time.Duration(cut) * d / math.MaxUint16
+		one := NewCell(CR2032)
+		one.Drain(units.MilliAmps(3), d)
+		two := NewCell(CR2032)
+		two.Drain(units.MilliAmps(3), first)
+		two.Drain(units.MilliAmps(3), d-first)
+		return math.Abs(one.StateOfCharge()-two.StateOfCharge()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestInternalResistanceRisesWithDepletion(t *testing.T) {
 	c := NewCell(CR2032)
 	fresh := c.internalOhms()
-	c.Drain(0.001, 150*time.Hour)
+	c.Drain(units.MilliAmps(1), 150*time.Hour)
 	worn := c.internalOhms()
 	if worn <= fresh {
-		t.Fatalf("resistance did not rise: %.1f → %.1f", fresh, worn)
+		t.Fatalf("resistance did not rise: %.1f → %.1f", float64(fresh), float64(worn))
 	}
 	// A worn coin cell fails even smaller bursts — the "battery was fine
 	// yesterday" failure mode.
-	if c.CanSupply(0.050, brownoutV) {
+	if c.CanSupply(units.MilliAmps(50), brownoutV) {
 		t.Fatal("worn CR2032 claims to supply 50 mA")
 	}
 }
@@ -113,7 +147,7 @@ func TestInternalResistanceRisesWithDepletion(t *testing.T) {
 func TestVoltageMonotoneInLoad(t *testing.T) {
 	f := func(loadMA uint16) bool {
 		c := NewCell(CR2032)
-		load := float64(loadMA%500) / 1000
+		load := units.MilliAmps(float64(loadMA % 500))
 		return c.TerminalV(load) <= c.TerminalV(0)
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -126,7 +160,7 @@ func TestPropertyDrainMonotone(t *testing.T) {
 		c := NewCell(AA2)
 		prev := c.StateOfCharge()
 		for _, s := range steps {
-			c.Drain(float64(s)/1000, time.Hour)
+			c.Drain(units.MilliAmps(float64(s)), time.Hour)
 			soc := c.StateOfCharge()
 			if soc > prev {
 				return false
@@ -142,13 +176,13 @@ func TestPropertyDrainMonotone(t *testing.T) {
 
 func TestOpenCircuitVoltageFallsNearEnd(t *testing.T) {
 	c := NewCell(CR2032)
-	c.Drain(0.001, 215*time.Hour) // ~95% drained
+	c.Drain(units.MilliAmps(1), 215*time.Hour) // ~95% drained
 	v := c.openCircuitV()
-	if v >= CR2032.NominalV-0.1 {
-		t.Fatalf("nearly-dead cell still reads %.2f V", v)
+	if v >= CR2032.NominalV-units.Volts(0.1) {
+		t.Fatalf("nearly-dead cell still reads %.2f V", float64(v))
 	}
 	if v < CR2032.CutoffV {
-		t.Fatalf("voltage %.2f V below cutoff while SoC > 0", v)
+		t.Fatalf("voltage %.2f V below cutoff while SoC > 0", float64(v))
 	}
 }
 

@@ -242,9 +242,9 @@ func TestParseADTruncated(t *testing.T) {
 
 func TestConnectionEventEnergyMatchesTable1(t *testing.T) {
 	// Paper Table 1: BLE energy/packet = 71 µJ.
-	got := ConnectionEventEnergyJ()
-	if math.Abs(got-71e-6) > 71e-6*0.05 {
-		t.Fatalf("connection event energy = %.1f µJ, want 71 µJ ±5%%", got*1e6)
+	got := ConnectionEventEnergy()
+	if math.Abs(float64(got)-71e-6) > 71e-6*0.05 {
+		t.Fatalf("connection event energy = %.1f µJ, want 71 µJ ±5%%", got.Micro())
 	}
 	// And the event is single-digit milliseconds, as in the app note.
 	if d := ConnectionEventDuration(); d < time.Millisecond || d > 5*time.Millisecond {
@@ -255,12 +255,12 @@ func TestConnectionEventEnergyMatchesTable1(t *testing.T) {
 func TestDeviceSleepsAtTableIdleCurrent(t *testing.T) {
 	s := sim.New()
 	d := NewDevice(s)
-	if d.Current() != CC2541SleepCurrentA {
+	if d.Current() != CC2541SleepCurrent {
 		t.Fatalf("sleep current = %v", d.Current())
 	}
 	s.RunUntil(10 * sim.Second)
-	want := CC2541SleepCurrentA * 10
-	if got := d.ChargeC(); math.Abs(got-want) > want*1e-6 {
+	want := 10 * float64(CC2541SleepCurrent)
+	if got := float64(d.Charge()); math.Abs(got-want) > want*1e-6 {
 		t.Fatalf("10 s sleep charge = %v, want %v", got, want)
 	}
 }
@@ -274,11 +274,11 @@ func TestPlayConnectionEventEnergy(t *testing.T) {
 	if !finished {
 		t.Fatal("event never completed")
 	}
-	if d.Current() != CC2541SleepCurrentA {
+	if d.Current() != CC2541SleepCurrent {
 		t.Fatal("device not back asleep")
 	}
-	got := d.EnergyJ()
-	want := ConnectionEventEnergyJ()
+	got := float64(d.Energy())
+	want := float64(ConnectionEventEnergy())
 	if math.Abs(got-want) > want*0.01 {
 		t.Fatalf("device energy %v, analytic %v", got, want)
 	}
@@ -296,7 +296,7 @@ func TestRunPeriodic(t *testing.T) {
 		t.Fatalf("%d events in 1.05 s at 100 ms interval, want 10", d.Events())
 	}
 	// Average current ≈ E/(V·t) + sleep ≈ 71µJ/(3V·0.1s) ≈ 237 µA.
-	avg := d.ChargeC() / s.Now().Seconds()
+	avg := float64(d.Charge()) / s.Now().Seconds()
 	if avg < 200e-6 || avg > 280e-6 {
 		t.Fatalf("average current %v A at 10 Hz reporting", avg)
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"wile/internal/sim"
+	"wile/internal/units"
 )
 
 // CC2541 power model.
@@ -17,33 +18,35 @@ import (
 // waveform, trimmed so the integral lands on the paper's Table 1 value of
 // 71 µJ per packet at 3 V.
 
-// CC2541VoltageV is the coin-cell supply voltage of the TI reference
+// CC2541Voltage is the coin-cell supply voltage of the TI reference
 // measurement.
-const CC2541VoltageV = 3.0
+const CC2541Voltage = units.Volts(3.0)
 
-// CC2541SleepCurrentA is the between-events sleep current with the
+// CC2541SleepCurrent is the between-events sleep current with the
 // 32.768 kHz sleep oscillator running (Table 1: 1.1 µA idle).
-const CC2541SleepCurrentA = 1.1e-6
+const CC2541SleepCurrent = units.Amps(1.1e-6)
 
 // Phase is one segment of a connection event.
 type Phase struct {
-	Name     string
-	D        time.Duration
-	CurrentA float64
+	Name    string
+	D       time.Duration
+	Current units.Amps
 }
 
 // ConnectionEventPhases returns the swra347a phase decomposition of one
 // slave connection event (wake → pre-processing → radio prep → RX master
 // packet → turnaround → TX our data packet → post-processing).
 func ConnectionEventPhases() []Phase {
+	// Constant conversions keep this function inlinable, so the slice can
+	// stay on the caller's stack (the per-packet hot path builds it 3×).
 	return []Phase{
-		{Name: "wake-up", D: 400 * time.Microsecond, CurrentA: 6.0e-3},
-		{Name: "pre-processing", D: 340 * time.Microsecond, CurrentA: 7.4e-3},
-		{Name: "pre-rx", D: 352 * time.Microsecond, CurrentA: 11.0e-3},
-		{Name: "rx", D: 190 * time.Microsecond, CurrentA: 17.5e-3},
-		{Name: "rx-tx-transition", D: 105 * time.Microsecond, CurrentA: 7.4e-3},
-		{Name: "tx", D: 115 * time.Microsecond, CurrentA: 18.2e-3},
-		{Name: "post-processing", D: 1190 * time.Microsecond, CurrentA: 7.4e-3},
+		{Name: "wake-up", D: 400 * time.Microsecond, Current: units.Amps(6.0e-3)},
+		{Name: "pre-processing", D: 340 * time.Microsecond, Current: units.Amps(7.4e-3)},
+		{Name: "pre-rx", D: 352 * time.Microsecond, Current: units.Amps(11.0e-3)},
+		{Name: "rx", D: 190 * time.Microsecond, Current: units.Amps(17.5e-3)},
+		{Name: "rx-tx-transition", D: 105 * time.Microsecond, Current: units.Amps(7.4e-3)},
+		{Name: "tx", D: 115 * time.Microsecond, Current: units.Amps(18.2e-3)},
+		{Name: "post-processing", D: 1190 * time.Microsecond, Current: units.Amps(7.4e-3)},
 	}
 }
 
@@ -56,75 +59,75 @@ func ConnectionEventDuration() time.Duration {
 	return d
 }
 
-// ConnectionEventChargeC integrates one event's charge in coulombs.
-func ConnectionEventChargeC() float64 {
-	var c float64
+// ConnectionEventCharge integrates one event's charge.
+func ConnectionEventCharge() units.Coulombs {
+	var c units.Coulombs
 	for _, p := range ConnectionEventPhases() {
-		c += p.CurrentA * p.D.Seconds()
+		c += units.Charge(p.Current, p.D)
 	}
 	return c
 }
 
-// ConnectionEventEnergyJ integrates one event's energy in joules — the
-// BLE "energy per packet" of Table 1.
-func ConnectionEventEnergyJ() float64 {
-	return ConnectionEventChargeC() * CC2541VoltageV
+// ConnectionEventEnergy integrates one event's energy — the BLE "energy
+// per packet" of Table 1.
+func ConnectionEventEnergy() units.Joules {
+	return ConnectionEventCharge().Energy(CC2541Voltage)
 }
 
-// Device is a simulated CC2541 slave: sleeps at CC2541SleepCurrentA and
+// Device is a simulated CC2541 slave: sleeps at CC2541SleepCurrent and
 // plays a connection event per transmission, exactly like the esp32
 // counterpart (piecewise-constant current, exact charge integral).
 type Device struct {
 	sched *sim.Scheduler
 
-	lastT   sim.Time
-	lastA   float64
-	chargeC float64
-	steps   []Step
-	events  int
+	lastT  sim.Time
+	lastA  units.Amps
+	charge units.Coulombs
+	steps  []Step
+	events int
 }
 
 // Step is one point of the current waveform.
 type Step struct {
-	At       sim.Time
-	CurrentA float64
+	At      sim.Time
+	Current units.Amps
 }
 
 // NewDevice builds a sleeping CC2541.
 func NewDevice(sched *sim.Scheduler) *Device {
-	d := &Device{sched: sched, lastT: sched.Now(), lastA: CC2541SleepCurrentA}
-	d.steps = append(d.steps, Step{At: sched.Now(), CurrentA: d.lastA})
+	d := &Device{sched: sched, lastT: sched.Now(), lastA: CC2541SleepCurrent}
+	d.steps = append(d.steps, Step{At: sched.Now(), Current: d.lastA})
 	return d
 }
 
 func (d *Device) touch() {
 	now := d.sched.Now()
 	if now > d.lastT {
-		d.chargeC += d.lastA * now.Sub(d.lastT).Seconds()
+		d.charge += units.Charge(d.lastA, now.Sub(d.lastT))
 		d.lastT = now
 	}
 }
 
-func (d *Device) setCurrent(a float64) {
+func (d *Device) setCurrent(a units.Amps) {
 	d.touch()
 	if a == d.lastA {
 		return
 	}
 	d.lastA = a
-	d.steps = append(d.steps, Step{At: d.sched.Now(), CurrentA: a})
+	d.steps = append(d.steps, Step{At: d.sched.Now(), Current: a})
 }
 
 // Current reports the instantaneous draw (meter.Probe).
-func (d *Device) Current() float64 { return d.lastA }
+func (d *Device) Current() units.Amps { return d.lastA }
 
-// ChargeC reports the exact charge drawn since construction.
-func (d *Device) ChargeC() float64 {
+// Charge reports the exact charge drawn since construction.
+func (d *Device) Charge() units.Coulombs {
 	d.touch()
-	return d.chargeC
+	return d.charge
 }
 
-// EnergyJ reports the exact energy drawn since construction.
-func (d *Device) EnergyJ() float64 { return d.ChargeC() * CC2541VoltageV }
+// Energy reports the exact energy drawn since construction.
+func (d *Device) Energy() units.Joules { return d.Charge().Energy(CC2541Voltage) }
 
 // Steps returns the recorded waveform.
 func (d *Device) Steps() []Step {
@@ -143,13 +146,13 @@ func (d *Device) PlayConnectionEvent(done func()) {
 	var run func(i int)
 	run = func(i int) {
 		if i == len(phases) {
-			d.setCurrent(CC2541SleepCurrentA)
+			d.setCurrent(CC2541SleepCurrent)
 			if done != nil {
 				done()
 			}
 			return
 		}
-		d.setCurrent(phases[i].CurrentA)
+		d.setCurrent(phases[i].Current)
 		d.sched.DoAfter(phases[i].D, func() { run(i + 1) })
 	}
 	run(0)

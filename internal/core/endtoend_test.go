@@ -10,6 +10,7 @@ import (
 	"wile/internal/medium"
 	"wile/internal/phy"
 	"wile/internal/sim"
+	"wile/internal/units"
 )
 
 func pos(x, y float64) medium.Position { return medium.Position{X: x, Y: y} }
@@ -110,22 +111,22 @@ func TestWiLEEnergyPerPacketMatchesTable1(t *testing.T) {
 
 	// Extract the TX burst energy from the waveform: the charge drawn at
 	// TX current.
-	var txCharge float64
+	var txCharge units.Coulombs
 	steps := sensor.Dev.Steps()
 	for i, s := range steps {
-		if s.CurrentA != esp32.TxBurstCurrentA {
+		if s.Current != esp32.TxBurstCurrent {
 			continue
 		}
 		end := r.sched.Now()
 		if i+1 < len(steps) {
 			end = steps[i+1].At
 		}
-		txCharge += esp32.TxBurstCurrentA * end.Sub(s.At).Seconds()
+		txCharge += units.Charge(esp32.TxBurstCurrent, end.Sub(s.At))
 	}
-	energy := txCharge * esp32.VoltageV
-	t.Logf("Wi-LE TX-window energy: %.1f µJ (paper: 84 µJ)", energy*1e6)
-	if energy < 84e-6*0.85 || energy > 84e-6*1.15 {
-		t.Errorf("TX energy %.1f µJ outside ±15%% of 84 µJ", energy*1e6)
+	energy := txCharge.Energy(esp32.Voltage)
+	t.Logf("Wi-LE TX-window energy: %.1f µJ (paper: 84 µJ)", energy.Micro())
+	if energy < units.Scale(units.MicroJoules(84), 0.85) || energy > units.Scale(units.MicroJoules(84), 1.15) {
+		t.Errorf("TX energy %.1f µJ outside ±15%% of 84 µJ", energy.Micro())
 	}
 }
 
@@ -134,8 +135,8 @@ func TestSensorIdleCurrentMatchesTable1(t *testing.T) {
 	r := newRig()
 	sensor := NewSensor(r.sched, r.med, SensorConfig{DeviceID: 1, Position: pos(0, 0)})
 	r.sched.RunUntil(10 * sim.Second)
-	if got := sensor.Dev.Current(); got != 2.5e-6 {
-		t.Fatalf("idle current = %v A, want 2.5 µA", got)
+	if got := sensor.Dev.Current(); got != units.MicroAmps(2.5) {
+		t.Fatalf("idle current = %v A, want 2.5 µA", float64(got))
 	}
 }
 

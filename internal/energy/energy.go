@@ -1,11 +1,14 @@
 // Package energy holds the paper's energy bookkeeping: the §5.5 average
 // power model (Equation 1), battery-life estimation, and human-readable
-// formatting for the quantities Table 1 reports.
+// formatting for the quantities Table 1 reports. All quantities are
+// dimensioned (internal/units); bare float64 appears only at the
+// formatting boundary.
 package energy
 
 import (
-	"fmt"
 	"time"
+
+	"wile/internal/units"
 )
 
 // Scenario captures one row of Table 1: the cost of a transmission episode
@@ -13,28 +16,28 @@ import (
 type Scenario struct {
 	// Name labels the technology ("Wi-LE", "BLE", "WiFi-DC", "WiFi-PS").
 	Name string
-	// EnergyPerPacketJ is the energy of one transmission episode,
+	// EnergyPerPacket is the energy of one transmission episode,
 	// including all per-episode overheads (Ptx·Ttx in Equation 1 terms).
-	EnergyPerPacketJ float64
+	EnergyPerPacket units.Joules
 	// TxDuration is Ttx: how long the episode keeps the device out of its
 	// idle state.
 	TxDuration time.Duration
-	// IdleCurrentA is the between-transmissions current.
-	IdleCurrentA float64
-	// VoltageV is the supply voltage (3.3 V for the ESP32 scenarios, 3 V
+	// IdleCurrent is the between-transmissions current.
+	IdleCurrent units.Amps
+	// Voltage is the supply voltage (3.3 V for the ESP32 scenarios, 3 V
 	// for the CC2541 reference).
-	VoltageV float64
+	Voltage units.Volts
 }
 
-// IdlePowerW reports the idle power draw.
-func (s Scenario) IdlePowerW() float64 { return s.IdleCurrentA * s.VoltageV }
+// IdlePower reports the idle power draw.
+func (s Scenario) IdlePower() units.Watts { return units.Power(s.Voltage, s.IdleCurrent) }
 
-// AveragePowerW evaluates Equation 1 of the paper:
+// AveragePower evaluates Equation 1 of the paper:
 //
 //	Pavg = (1/INT) · (Ptx·Ttx + Pidle·(INT − Ttx))
 //
 // for a transmission interval INT. Ptx·Ttx is the per-episode energy.
-func (s Scenario) AveragePowerW(interval time.Duration) float64 {
+func (s Scenario) AveragePower(interval time.Duration) units.Watts {
 	if interval <= 0 {
 		panic("energy: non-positive transmission interval")
 	}
@@ -42,63 +45,29 @@ func (s Scenario) AveragePowerW(interval time.Duration) float64 {
 	if idle < 0 {
 		idle = 0
 	}
-	return (s.EnergyPerPacketJ + s.IdlePowerW()*idle.Seconds()) / interval.Seconds()
+	return units.AveragePower(s.EnergyPerPacket+units.Energy(s.IdlePower(), idle), interval)
 }
 
 // BatteryLife estimates how long a battery of the given capacity powers
-// the scenario at a transmission interval. A CR2032 coin cell is ~225 mAh
-// at 3 V — the "small button battery" the paper credits BLE with running
-// on "for over a year".
-func (s Scenario) BatteryLife(capacityMAh float64, interval time.Duration) time.Duration {
-	p := s.AveragePowerW(interval)
-	if p <= 0 {
-		return time.Duration(1<<63 - 1)
-	}
-	energyJ := capacityMAh / 1000 * 3600 * s.VoltageV
-	seconds := energyJ / p
-	const maxSec = float64(1<<63-1) / float64(time.Second)
-	if seconds > maxSec {
-		return time.Duration(1<<63 - 1)
-	}
-	return time.Duration(seconds * float64(time.Second))
+// the scenario at a transmission interval, saturating at the
+// time.Duration ceiling. A CR2032 coin cell is ~225 mAh at 3 V — the
+// "small button battery" the paper credits BLE with running on "for over
+// a year".
+func (s Scenario) BatteryLife(capacity units.AmpHours, interval time.Duration) time.Duration {
+	return units.BatteryLife(capacity.Energy(s.Voltage), s.AveragePower(interval))
 }
 
-// CR2032CapacityMAh is the nominal capacity of the coin cell used in
+// CR2032Capacity is the nominal capacity of the coin cell used in
 // battery-life estimates.
-const CR2032CapacityMAh = 225
+var CR2032Capacity = units.MilliAmpHours(225)
 
-// FormatJoules renders an energy with the unit Table 1 uses (µJ or mJ).
-func FormatJoules(j float64) string {
-	switch {
-	case j < 1e-3:
-		return fmt.Sprintf("%.1f µJ", j*1e6)
-	case j < 1:
-		return fmt.Sprintf("%.1f mJ", j*1e3)
-	default:
-		return fmt.Sprintf("%.2f J", j)
-	}
-}
+// FormatJoules renders an energy with the unit Table 1 uses (µJ, mJ or
+// J). Kept as a free function for call-site symmetry with the other
+// formatters; the normalization lives on units.Joules.
+func FormatJoules(j units.Joules) string { return j.String() }
 
-// FormatAmps renders a current in µA or mA.
-func FormatAmps(a float64) string {
-	switch {
-	case a < 1e-3:
-		return fmt.Sprintf("%.1f µA", a*1e6)
-	case a < 1:
-		return fmt.Sprintf("%.1f mA", a*1e3)
-	default:
-		return fmt.Sprintf("%.2f A", a)
-	}
-}
+// FormatAmps renders a current in µA, mA or A.
+func FormatAmps(a units.Amps) string { return a.String() }
 
 // FormatWatts renders a power in µW, mW or W.
-func FormatWatts(w float64) string {
-	switch {
-	case w < 1e-3:
-		return fmt.Sprintf("%.2f µW", w*1e6)
-	case w < 1:
-		return fmt.Sprintf("%.2f mW", w*1e3)
-	default:
-		return fmt.Sprintf("%.2f W", w)
-	}
-}
+func FormatWatts(w units.Watts) string { return w.String() }

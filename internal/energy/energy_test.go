@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"wile/internal/units"
 )
 
 // paperScenarios mirrors Table 1 of the paper exactly; the experiment
@@ -11,10 +13,10 @@ import (
 // properties tested here must hold for the published numbers too.
 func paperScenarios() []Scenario {
 	return []Scenario{
-		{Name: "Wi-LE", EnergyPerPacketJ: 84e-6, TxDuration: 150 * time.Microsecond, IdleCurrentA: 2.5e-6, VoltageV: 3.3},
-		{Name: "BLE", EnergyPerPacketJ: 71e-6, TxDuration: 3 * time.Millisecond, IdleCurrentA: 1.1e-6, VoltageV: 3.0},
-		{Name: "WiFi-DC", EnergyPerPacketJ: 238.2e-3, TxDuration: 1600 * time.Millisecond, IdleCurrentA: 2.5e-6, VoltageV: 3.3},
-		{Name: "WiFi-PS", EnergyPerPacketJ: 19.8e-3, TxDuration: 100 * time.Millisecond, IdleCurrentA: 4500e-6, VoltageV: 3.3},
+		{Name: "Wi-LE", EnergyPerPacket: units.MicroJoules(84), TxDuration: 150 * time.Microsecond, IdleCurrent: units.MicroAmps(2.5), Voltage: units.Volts(3.3)},
+		{Name: "BLE", EnergyPerPacket: units.MicroJoules(71), TxDuration: 3 * time.Millisecond, IdleCurrent: units.MicroAmps(1.1), Voltage: units.Volts(3.0)},
+		{Name: "WiFi-DC", EnergyPerPacket: units.MilliJoules(238.2), TxDuration: 1600 * time.Millisecond, IdleCurrent: units.MicroAmps(2.5), Voltage: units.Volts(3.3)},
+		{Name: "WiFi-PS", EnergyPerPacket: units.MilliJoules(19.8), TxDuration: 100 * time.Millisecond, IdleCurrent: units.MicroAmps(4500), Voltage: units.Volts(3.3)},
 	}
 }
 
@@ -22,7 +24,7 @@ func TestEquationOneKnownValue(t *testing.T) {
 	// Hand-computed: Etx=84µJ, Pidle=8.25µW, INT=60s, Ttx=150µs:
 	// Pavg = (84e-6 + 8.25e-6*(60-0.00015)) / 60 ≈ 9.65 µW.
 	s := paperScenarios()[0]
-	got := s.AveragePowerW(time.Minute)
+	got := float64(s.AveragePower(time.Minute))
 	if math.Abs(got-9.65e-6) > 0.05e-6 {
 		t.Fatalf("Wi-LE Pavg(1min) = %v W, want ≈9.65 µW", got)
 	}
@@ -30,11 +32,11 @@ func TestEquationOneKnownValue(t *testing.T) {
 
 func TestAveragePowerDecreasesWithInterval(t *testing.T) {
 	for _, s := range paperScenarios() {
-		prev := math.Inf(1)
+		prev := units.Watts(math.Inf(1))
 		for _, interval := range []time.Duration{
 			5 * time.Second, 30 * time.Second, time.Minute, 5 * time.Minute,
 		} {
-			p := s.AveragePowerW(interval)
+			p := s.AveragePower(interval)
 			if p >= prev {
 				t.Errorf("%s: Pavg did not decrease at %v (%v → %v)", s.Name, interval, prev, p)
 			}
@@ -45,8 +47,8 @@ func TestAveragePowerDecreasesWithInterval(t *testing.T) {
 
 func TestAveragePowerApproachesIdleFloor(t *testing.T) {
 	for _, s := range paperScenarios() {
-		p := s.AveragePowerW(24 * time.Hour)
-		floor := s.IdlePowerW()
+		p := s.AveragePower(24 * time.Hour)
+		floor := s.IdlePower()
 		if p < floor {
 			t.Errorf("%s: Pavg %v below idle floor %v", s.Name, p, floor)
 		}
@@ -65,21 +67,21 @@ func TestFigure4Shape(t *testing.T) {
 	for _, interval := range []time.Duration{
 		10 * time.Second, 30 * time.Second, time.Minute, 2 * time.Minute, 5 * time.Minute,
 	} {
-		pWile, pBLE := wile.AveragePowerW(interval), ble.AveragePowerW(interval)
-		pDC, pPS := dc.AveragePowerW(interval), ps.AveragePowerW(interval)
+		pWile, pBLE := wile.AveragePower(interval), ble.AveragePower(interval)
+		pDC, pPS := dc.AveragePower(interval), ps.AveragePower(interval)
 
 		// Wi-LE tracks BLE within a small factor.
-		if ratio := pWile / pBLE; ratio < 0.3 || ratio > 4 {
+		if ratio := units.Ratio(pWile, pBLE); ratio < 0.3 || ratio > 4 {
 			t.Errorf("INT=%v: Wi-LE/BLE power ratio %.2f not close", interval, ratio)
 		}
 		// Wi-LE is orders of magnitude below both WiFi modes ("generally
 		// about 3 orders of magnitude lower"; at the 5-minute end of the
 		// sweep WiFi-DC's advantage from deep sleep narrows it to ~2).
-		if pDC/pWile < 80 {
-			t.Errorf("INT=%v: WiFi-DC only %.0f× Wi-LE", interval, pDC/pWile)
+		if units.Ratio(pDC, pWile) < 80 {
+			t.Errorf("INT=%v: WiFi-DC only %.0f× Wi-LE", interval, units.Ratio(pDC, pWile))
 		}
-		if pPS/pWile < 100 {
-			t.Errorf("INT=%v: WiFi-PS only %.0f× Wi-LE", interval, pPS/pWile)
+		if units.Ratio(pPS, pWile) < 100 {
+			t.Errorf("INT=%v: WiFi-PS only %.0f× Wi-LE", interval, units.Ratio(pPS, pWile))
 		}
 	}
 }
@@ -89,17 +91,17 @@ func TestFigure4Shape(t *testing.T) {
 func TestFigure4Crossover(t *testing.T) {
 	s := paperScenarios()
 	dc, ps := s[2], s[3]
-	if dc.AveragePowerW(5*time.Second) <= ps.AveragePowerW(5*time.Second) {
+	if dc.AveragePower(5*time.Second) <= ps.AveragePower(5*time.Second) {
 		t.Error("at 5s intervals WiFi-DC should lose to WiFi-PS")
 	}
-	if dc.AveragePowerW(3*time.Minute) >= ps.AveragePowerW(3*time.Minute) {
+	if dc.AveragePower(3*time.Minute) >= ps.AveragePower(3*time.Minute) {
 		t.Error("at 3min intervals WiFi-DC should beat WiFi-PS")
 	}
 	// Locate the crossover by bisection; it must fall under a minute.
 	lo, hi := 5*time.Second, 3*time.Minute
 	for i := 0; i < 40; i++ {
 		mid := (lo + hi) / 2
-		if dc.AveragePowerW(mid) > ps.AveragePowerW(mid) {
+		if dc.AveragePower(mid) > ps.AveragePower(mid) {
 			lo = mid
 		} else {
 			hi = mid
@@ -114,18 +116,33 @@ func TestBatteryLifeBLEOverAYear(t *testing.T) {
 	// "This is why BLE modules can run on a small button battery for over
 	// a year" — at a 1-minute reporting interval.
 	ble := paperScenarios()[1]
-	life := ble.BatteryLife(CR2032CapacityMAh, time.Minute)
+	life := ble.BatteryLife(CR2032Capacity, time.Minute)
 	if life < 365*24*time.Hour {
 		t.Fatalf("BLE CR2032 life = %v, want > 1 year", life)
 	}
 	wile := paperScenarios()[0]
-	if wile.BatteryLife(CR2032CapacityMAh, time.Minute) < 365*24*time.Hour {
+	if wile.BatteryLife(CR2032Capacity, time.Minute) < 365*24*time.Hour {
 		t.Fatal("Wi-LE should also exceed a year on a coin cell")
 	}
 	// WiFi-DC drains the same cell within days at 1-minute reporting.
 	dc := paperScenarios()[2]
-	if dc.BatteryLife(CR2032CapacityMAh, time.Minute) > 30*24*time.Hour {
+	if dc.BatteryLife(CR2032Capacity, time.Minute) > 30*24*time.Hour {
 		t.Fatal("WiFi-DC implausibly frugal")
+	}
+}
+
+func TestBatteryLifeSaturates(t *testing.T) {
+	// A scenario whose average power underflows to a subnormal sliver must
+	// clamp at the time.Duration ceiling rather than overflow.
+	s := Scenario{
+		Name:            "sliver",
+		EnergyPerPacket: units.Joules(1e-300),
+		TxDuration:      time.Microsecond,
+		IdleCurrent:     units.Amps(0),
+		Voltage:         units.Volts(3.3),
+	}
+	if got := s.BatteryLife(CR2032Capacity, time.Minute); got != time.Duration(1<<63-1) {
+		t.Fatalf("near-zero draw life = %v, want saturation at the Duration ceiling", got)
 	}
 }
 
@@ -135,32 +152,41 @@ func TestAveragePowerPanicsOnBadInterval(t *testing.T) {
 			t.Fatal("zero interval did not panic")
 		}
 	}()
-	paperScenarios()[0].AveragePowerW(0)
+	paperScenarios()[0].AveragePower(0)
 }
 
 func TestTxLongerThanIntervalClamped(t *testing.T) {
 	// When the episode exceeds the interval the idle term clamps to zero
 	// instead of going negative.
-	s := Scenario{EnergyPerPacketJ: 1, TxDuration: 10 * time.Second, IdleCurrentA: 1, VoltageV: 3.3}
-	got := s.AveragePowerW(time.Second)
+	s := Scenario{EnergyPerPacket: units.Joules(1), TxDuration: 10 * time.Second, IdleCurrent: units.Amps(1), Voltage: units.Volts(3.3)}
+	got := s.AveragePower(time.Second)
 	if got != 1.0 {
 		t.Fatalf("clamped Pavg = %v, want 1 (energy/interval only)", got)
 	}
 }
 
+// TestFormatters pins the exact renderings Table 1 and the CLI rely on,
+// including the negative and unit-boundary cases the old float-based
+// formatters mishandled (negatives always fell into the µ branch).
 func TestFormatters(t *testing.T) {
 	cases := []struct {
 		got, want string
 	}{
-		{FormatJoules(84e-6), "84.0 µJ"},
-		{FormatJoules(19.8e-3), "19.8 mJ"},
-		{FormatJoules(1.5), "1.50 J"},
-		{FormatAmps(2.5e-6), "2.5 µA"},
-		{FormatAmps(4.5e-3), "4.5 mA"},
-		{FormatAmps(1.2), "1.20 A"},
-		{FormatWatts(9.65e-6), "9.65 µW"},
-		{FormatWatts(14.85e-3), "14.85 mW"},
-		{FormatWatts(2), "2.00 W"},
+		{FormatJoules(units.MicroJoules(84)), "84.0 µJ"},
+		{FormatJoules(units.MilliJoules(19.8)), "19.8 mJ"},
+		{FormatJoules(units.Joules(1.5)), "1.50 J"},
+		{FormatJoules(units.MicroJoules(-0.5)), "-0.5 µJ"},
+		{FormatJoules(units.Joules(-0.5)), "-500.0 mJ"},
+		{FormatJoules(units.Joules(1e-3)), "1.0 mJ"},
+		{FormatAmps(units.MicroAmps(2.5)), "2.5 µA"},
+		{FormatAmps(units.MilliAmps(4.5)), "4.5 mA"},
+		{FormatAmps(units.Amps(1.2)), "1.20 A"},
+		{FormatAmps(units.MilliAmps(-4.5)), "-4.5 mA"},
+		{FormatAmps(units.Amps(1e-3)), "1.0 mA"},
+		{FormatWatts(units.MicroWatts(9.65)), "9.65 µW"},
+		{FormatWatts(units.MilliWatts(14.85)), "14.85 mW"},
+		{FormatWatts(units.Watts(2)), "2.00 W"},
+		{FormatWatts(units.Watts(-2)), "-2.00 W"},
 	}
 	for _, c := range cases {
 		if c.got != c.want {

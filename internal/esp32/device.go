@@ -27,11 +27,12 @@ import (
 
 	"wile/internal/obs"
 	"wile/internal/sim"
+	"wile/internal/units"
 )
 
 // Rail voltage: the paper powers the module from a bench supply at 3.3 V
 // with the regulator removed.
-const VoltageV = 3.3
+const Voltage = units.Volts(3.3)
 
 // State is a coarse power state with a fixed current draw.
 type State int
@@ -54,21 +55,21 @@ const (
 	StateRadioListen
 )
 
-// StateCurrentA reports the current draw of s in amperes.
-func StateCurrentA(s State) float64 {
+// StateCurrent reports the current draw of s.
+func StateCurrent(s State) units.Amps {
 	switch s {
 	case StateDeepSleep:
-		return 2.5e-6
+		return units.MicroAmps(2.5)
 	case StateLightSleep:
-		return 0.8e-3
+		return units.MilliAmps(0.8)
 	case StateWiFiPSIdle:
-		return 4.5e-3
+		return units.MilliAmps(4.5)
 	case StateCPUActive:
-		return 30e-3
+		return units.MilliAmps(30)
 	case StateNetworkWait:
-		return 20e-3
+		return units.MilliAmps(20)
 	case StateRadioListen:
-		return 100e-3
+		return units.MilliAmps(100)
 	}
 	panic(fmt.Sprintf("esp32: unknown state %d", s))
 }
@@ -92,8 +93,8 @@ func (s State) String() string {
 	return fmt.Sprintf("state(%d)", int(s))
 }
 
-// TxBurstCurrentA is the average current during a transmit burst.
-const TxBurstCurrentA = 180e-3
+// TxBurstCurrent is the average current during a transmit burst.
+const TxBurstCurrent = units.Amps(180e-3)
 
 // TxRampUp is the radio settle/PA ramp time charged at TX current before
 // each burst. Together with the PHY airtime this reproduces the measured
@@ -103,8 +104,8 @@ const TxRampUp = 95 * time.Microsecond
 // Step is one point of the piecewise-constant current waveform: the
 // current that flows from At onward.
 type Step struct {
-	At       sim.Time
-	CurrentA float64
+	At      sim.Time
+	Current units.Amps
 }
 
 // Mark is a labeled instant, used to annotate figure phases
@@ -120,12 +121,12 @@ type Device struct {
 
 	state   State
 	lastT   sim.Time
-	lastA   float64
+	lastA   units.Amps
 	txUntil sim.Time
 
-	chargeC float64
-	steps   []Step
-	marks   []Mark
+	charge units.Coulombs
+	steps  []Step
+	marks  []Mark
 
 	// rec/track carry the optional trace recorder (TraceTo): power states
 	// become nested slices, phase marks instants, TX bursts spans.
@@ -136,8 +137,8 @@ type Device struct {
 // New builds a device in deep sleep at the scheduler's current time.
 func New(sched *sim.Scheduler) *Device {
 	d := &Device{sched: sched, state: StateDeepSleep, lastT: sched.Now()}
-	d.lastA = StateCurrentA(StateDeepSleep)
-	d.steps = append(d.steps, Step{At: sched.Now(), CurrentA: d.lastA})
+	d.lastA = StateCurrent(StateDeepSleep)
+	d.steps = append(d.steps, Step{At: sched.Now(), Current: d.lastA})
 	return d
 }
 
@@ -145,27 +146,27 @@ func New(sched *sim.Scheduler) *Device {
 func (d *Device) touch() {
 	now := d.sched.Now()
 	if now > d.lastT {
-		d.chargeC += d.lastA * now.Sub(d.lastT).Seconds()
+		d.charge += units.Charge(d.lastA, now.Sub(d.lastT))
 		d.lastT = now
 	}
 }
 
 // setCurrent changes the instantaneous current, logging a waveform step.
-func (d *Device) setCurrent(a float64) {
+func (d *Device) setCurrent(a units.Amps) {
 	d.touch()
 	if a == d.lastA {
 		return
 	}
 	d.lastA = a
-	d.steps = append(d.steps, Step{At: d.sched.Now(), CurrentA: a})
+	d.steps = append(d.steps, Step{At: d.sched.Now(), Current: a})
 }
 
 // effectiveCurrent reports the current the state machine implies now.
-func (d *Device) effectiveCurrent() float64 {
+func (d *Device) effectiveCurrent() units.Amps {
 	if d.sched.Now() < d.txUntil {
-		return TxBurstCurrentA
+		return TxBurstCurrent
 	}
-	return StateCurrentA(d.state)
+	return StateCurrent(d.state)
 }
 
 // TraceTo attaches the device to a trace recorder: the current power state
@@ -193,9 +194,9 @@ func (d *Device) SetState(s State) {
 // GetState reports the current coarse power state.
 func (d *Device) GetState() State { return d.state }
 
-// Current reports the instantaneous current draw in amperes — what the
-// series multimeter reads at this exact virtual instant.
-func (d *Device) Current() float64 {
+// Current reports the instantaneous current draw — what the series
+// multimeter reads at this exact virtual instant.
+func (d *Device) Current() units.Amps {
 	return d.lastA
 }
 
@@ -209,7 +210,7 @@ func (d *Device) RadioTx(airtime time.Duration) {
 	if d.rec != nil {
 		d.rec.Span(d.track, d.sched.Now(), until, "tx-burst")
 	}
-	d.setCurrent(TxBurstCurrentA)
+	d.setCurrent(TxBurstCurrent)
 	d.sched.DoAt(until, func() {
 		if d.sched.Now() >= d.txUntil {
 			d.setCurrent(d.effectiveCurrent())
@@ -235,21 +236,21 @@ func (d *Device) Steps() []Step {
 	return d.steps
 }
 
-// ChargeC reports the total charge drawn since construction, in coulombs,
-// integrated exactly over the waveform.
-func (d *Device) ChargeC() float64 {
+// Charge reports the total charge drawn since construction, integrated
+// exactly over the waveform.
+func (d *Device) Charge() units.Coulombs {
 	d.touch()
-	return d.chargeC
+	return d.charge
 }
 
-// EnergyJ reports the total energy drawn since construction, in joules.
-func (d *Device) EnergyJ() float64 { return d.ChargeC() * VoltageV }
+// Energy reports the total energy drawn since construction.
+func (d *Device) Energy() units.Joules { return d.Charge().Energy(Voltage) }
 
 // Segment is one piece of a scripted boot/init profile.
 type Segment struct {
-	D        time.Duration
-	CurrentA float64
-	Label    string
+	D       time.Duration
+	Current units.Amps
+	Label   string
 }
 
 // PlaySegments runs a scripted current profile (boot sequences, RF
@@ -269,7 +270,7 @@ func (d *Device) PlaySegments(segs []Segment, done func()) {
 		if s.Label != "" {
 			d.MarkPhase(s.Label)
 		}
-		d.setCurrent(s.CurrentA)
+		d.setCurrent(s.Current)
 		d.sched.DoAfter(s.D, func() { run(i + 1) })
 	}
 	run(0)
@@ -282,11 +283,11 @@ func (d *Device) PlaySegments(segs []Segment, done func()) {
 // (Figure 3a, 0.2 s → 0.85 s): ROM boot, flash image load, RF calibration,
 // WiFi stack bring-up in station mode.
 func BootWiFi() []Segment {
-	segs := []Segment{{D: 30 * time.Millisecond, CurrentA: 40e-3, Label: "MC/WiFi init"}}
+	segs := []Segment{{D: 30 * time.Millisecond, Current: units.MilliAmps(40), Label: "MC/WiFi init"}}
 	segs = append(segs, flashLoad(170*time.Millisecond)...)
 	segs = append(segs,
-		Segment{D: 120 * time.Millisecond, CurrentA: 70e-3},
-		Segment{D: 330 * time.Millisecond, CurrentA: 35e-3},
+		Segment{D: 120 * time.Millisecond, Current: units.MilliAmps(70)},
+		Segment{D: 330 * time.Millisecond, Current: units.MilliAmps(35)},
 	)
 	return segs
 }
@@ -301,8 +302,8 @@ func flashLoad(total time.Duration) []Segment {
 	out := make([]Segment, 0, 2*bursts)
 	for i := 0; i < bursts; i++ {
 		out = append(out,
-			Segment{D: slice, CurrentA: 62e-3}, // SPI flash read burst
-			Segment{D: slice, CurrentA: 38e-3}, // CPU copy/decompress
+			Segment{D: slice, Current: units.MilliAmps(62)}, // SPI flash read burst
+			Segment{D: slice, Current: units.MilliAmps(38)}, // CPU copy/decompress
 		)
 	}
 	return out
@@ -313,11 +314,11 @@ func flashLoad(total time.Duration) []Segment {
 // chip does not need to prepare to connect to the AP as a client; it can
 // simply enable the WiFi radio to inject a packet" (§5.2).
 func BootWiLE() []Segment {
-	segs := []Segment{{D: 30 * time.Millisecond, CurrentA: 40e-3, Label: "MC/WiFi init"}}
+	segs := []Segment{{D: 30 * time.Millisecond, Current: units.MilliAmps(40), Label: "MC/WiFi init"}}
 	segs = append(segs, flashLoad(170*time.Millisecond)...)
 	segs = append(segs,
-		Segment{D: 100 * time.Millisecond, CurrentA: 70e-3},
-		Segment{D: 50 * time.Millisecond, CurrentA: 35e-3},
+		Segment{D: 100 * time.Millisecond, Current: units.MilliAmps(70)},
+		Segment{D: 50 * time.Millisecond, Current: units.MilliAmps(35)},
 	)
 	return segs
 }

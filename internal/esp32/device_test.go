@@ -6,20 +6,21 @@ import (
 	"time"
 
 	"wile/internal/sim"
+	"wile/internal/units"
 )
 
 func TestStateCurrentsMatchPaper(t *testing.T) {
 	// Table 1 idle currents and §5.1 figures.
-	cases := map[State]float64{
-		StateDeepSleep:   2.5e-6,
-		StateLightSleep:  0.8e-3,
-		StateWiFiPSIdle:  4.5e-3,
-		StateCPUActive:   30e-3,
-		StateNetworkWait: 20e-3,
-		StateRadioListen: 100e-3,
+	cases := map[State]units.Amps{
+		StateDeepSleep:   units.Amps(2.5e-6),
+		StateLightSleep:  units.Amps(0.8e-3),
+		StateWiFiPSIdle:  units.Amps(4.5e-3),
+		StateCPUActive:   units.Amps(30e-3),
+		StateNetworkWait: units.Amps(20e-3),
+		StateRadioListen: units.Amps(100e-3),
 	}
 	for s, want := range cases {
-		if got := StateCurrentA(s); got != want {
+		if got := StateCurrent(s); got != want {
 			t.Errorf("%v current = %v, want %v", s, got, want)
 		}
 	}
@@ -31,7 +32,7 @@ func TestDeviceStartsInDeepSleep(t *testing.T) {
 	if d.GetState() != StateDeepSleep {
 		t.Fatalf("initial state %v", d.GetState())
 	}
-	if d.Current() != 2.5e-6 {
+	if d.Current() != units.Amps(2.5e-6) {
 		t.Fatalf("initial current %v", d.Current())
 	}
 }
@@ -44,10 +45,10 @@ func TestChargeIntegralExact(t *testing.T) {
 	s.After(2*time.Second, func() { d.SetState(StateDeepSleep) })
 	s.RunUntil(3 * sim.Second)
 	want := 2.5e-6*2 + 30e-3*1
-	if got := d.ChargeC(); math.Abs(got-want) > 1e-12 {
+	if got := float64(d.Charge()); math.Abs(got-want) > 1e-12 {
 		t.Fatalf("charge = %v C, want %v", got, want)
 	}
-	if got := d.EnergyJ(); math.Abs(got-want*VoltageV) > 1e-12 {
+	if got := float64(d.Energy()); math.Abs(got-want*float64(Voltage)) > 1e-12 {
 		t.Fatalf("energy = %v J", got)
 	}
 }
@@ -57,17 +58,16 @@ func TestTxBurstOverridesState(t *testing.T) {
 	d := New(s)
 	d.SetState(StateRadioListen)
 	d.RadioTx(60 * time.Microsecond)
-	if d.Current() != TxBurstCurrentA {
+	if d.Current() != TxBurstCurrent {
 		t.Fatalf("current during burst = %v", d.Current())
 	}
 	s.Run()
-	if d.Current() != StateCurrentA(StateRadioListen) {
+	if d.Current() != StateCurrent(StateRadioListen) {
 		t.Fatalf("current after burst = %v", d.Current())
 	}
 	// Energy of the burst window is (ramp+airtime) at TX current.
-	burst := (TxRampUp + 60*time.Microsecond).Seconds()
-	want := TxBurstCurrentA * burst
-	got := d.ChargeC() - StateCurrentA(StateRadioListen)*0 // burst started at t=0
+	want := float64(units.Charge(TxBurstCurrent, TxRampUp+60*time.Microsecond))
+	got := float64(d.Charge()) // burst started at t=0
 	if math.Abs(got-want) > want*0.01 {
 		t.Fatalf("burst charge = %v, want ≈%v", got, want)
 	}
@@ -80,12 +80,12 @@ func TestOverlappingTxBurstsExtend(t *testing.T) {
 	d.RadioTx(100 * time.Microsecond)
 	s.After(50*time.Microsecond, func() { d.RadioTx(100 * time.Microsecond) })
 	s.Run()
-	if d.Current() != StateCurrentA(StateRadioListen) {
+	if d.Current() != StateCurrent(StateRadioListen) {
 		t.Fatalf("current after overlapping bursts = %v", d.Current())
 	}
 	// Union of the two windows: 50µs offset + ramp+100µs = ramp+150µs total.
-	want := TxBurstCurrentA * (TxRampUp + 150*time.Microsecond).Seconds()
-	if got := d.ChargeC(); math.Abs(got-want) > want*0.01 {
+	want := float64(units.Charge(TxBurstCurrent, TxRampUp+150*time.Microsecond))
+	if got := float64(d.Charge()); math.Abs(got-want) > want*0.01 {
 		t.Fatalf("charge = %v, want ≈%v", got, want)
 	}
 }
@@ -97,11 +97,11 @@ func TestStateChangeDuringBurstDefersToBurst(t *testing.T) {
 	d.RadioTx(200 * time.Microsecond)
 	s.After(50*time.Microsecond, func() { d.SetState(StateDeepSleep) })
 	s.RunUntil(sim.Time(50) * sim.Microsecond)
-	if d.Current() != TxBurstCurrentA {
+	if d.Current() != TxBurstCurrent {
 		t.Fatal("state change mid-burst dropped the TX current")
 	}
 	s.Run()
-	if d.Current() != StateCurrentA(StateDeepSleep) {
+	if d.Current() != StateCurrent(StateDeepSleep) {
 		t.Fatalf("post-burst current %v, want deep sleep", d.Current())
 	}
 }
@@ -120,7 +120,7 @@ func TestStepsRecordWaveform(t *testing.T) {
 		if steps[i].At <= steps[i-1].At {
 			t.Fatal("steps not strictly ordered")
 		}
-		if steps[i].CurrentA == steps[i-1].CurrentA {
+		if steps[i].Current == steps[i-1].Current {
 			t.Fatal("redundant step recorded")
 		}
 	}
@@ -139,7 +139,7 @@ func TestPlaySegments(t *testing.T) {
 		t.Fatalf("boot took %v, want %v", s.Now(), BootDuration(BootWiFi()))
 	}
 	// After the profile the device returns to its state current.
-	if d.Current() != StateCurrentA(StateDeepSleep) {
+	if d.Current() != StateCurrent(StateDeepSleep) {
 		t.Fatalf("post-profile current %v", d.Current())
 	}
 	if len(d.Marks()) == 0 || d.Marks()[0].Label != "MC/WiFi init" {
@@ -185,5 +185,5 @@ func TestUnknownStatePanics(t *testing.T) {
 			t.Fatal("unknown state did not panic")
 		}
 	}()
-	StateCurrentA(State(99))
+	StateCurrent(State(99))
 }

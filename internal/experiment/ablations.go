@@ -14,6 +14,7 @@ import (
 	"wile/internal/medium"
 	"wile/internal/phy"
 	"wile/internal/sim"
+	"wile/internal/units"
 )
 
 // Ablations for the design choices DESIGN.md calls out. Each isolates one
@@ -25,8 +26,8 @@ import (
 type BitratePoint struct {
 	Rate    phy.Rate
 	Airtime time.Duration
-	// EnergyJ is the TX-window energy for one standard beacon.
-	EnergyJ float64
+	// Energy is the TX-window energy for one standard beacon.
+	Energy units.Joules
 }
 
 // RunBitrateAblation computes the Wi-LE per-message TX energy across every
@@ -46,8 +47,8 @@ func RunBitrateAblation() ([]BitratePoint, error) {
 	out := engine.MapValues(Pool(), len(phy.WiFiRates), func(i int) BitratePoint {
 		r := phy.WiFiRates[i]
 		airtime := phy.FrameAirtime(r, len(raw))
-		e := esp32.TxBurstCurrentA * esp32.VoltageV * (esp32.TxRampUp + airtime).Seconds()
-		return BitratePoint{Rate: r, Airtime: airtime, EnergyJ: e}
+		e := units.Energy(units.Power(esp32.Voltage, esp32.TxBurstCurrent), esp32.TxRampUp+airtime)
+		return BitratePoint{Rate: r, Airtime: airtime, Energy: e}
 	})
 	return out, nil
 }
@@ -57,7 +58,7 @@ func RenderBitrate(w io.Writer, points []BitratePoint) {
 	fmt.Fprintln(w, "Ablation: Wi-LE TX energy vs injection bitrate (one temperature beacon)")
 	fmt.Fprintf(w, "%-12s %10s %12s\n", "rate", "airtime", "energy")
 	for _, p := range points {
-		fmt.Fprintf(w, "%-12s %10s %12s\n", p.Rate.Name, p.Airtime, energy.FormatJoules(p.EnergyJ))
+		fmt.Fprintf(w, "%-12s %10s %12s\n", p.Rate.Name, p.Airtime, energy.FormatJoules(p.Energy))
 	}
 }
 
@@ -69,7 +70,7 @@ type PayloadPoint struct {
 	Fragments    int
 	BeaconBytes  int
 	Airtime      time.Duration
-	EnergyJ      float64
+	Energy       units.Joules
 }
 
 // RunPayloadAblation sweeps the message payload from a few bytes to past
@@ -109,7 +110,7 @@ func RunPayloadAblation(sizes []int) ([]PayloadPoint, error) {
 			Fragments:    len(beacon.Elements.Vendors(core.OUI)),
 			BeaconBytes:  len(raw),
 			Airtime:      airtime,
-			EnergyJ:      esp32.TxBurstCurrentA * esp32.VoltageV * (esp32.TxRampUp + airtime).Seconds(),
+			Energy:       units.Energy(units.Power(esp32.Voltage, esp32.TxBurstCurrent), esp32.TxRampUp+airtime),
 		}, nil
 	})
 }
@@ -119,29 +120,29 @@ func RunPayloadAblation(sizes []int) ([]PayloadPoint, error) {
 // ListenIntervalPoint is one listen-interval's idle current.
 type ListenIntervalPoint struct {
 	ListenInterval int
-	IdleCurrentA   float64
+	IdleCurrent    units.Amps
 }
 
 // WiFiPSIdleModel computes the WiFi-PS idle current for a listen interval:
 // a light-sleep floor plus the beacon-reception duty cycle. Constants are
 // calibrated so LI=3 reproduces Table 1's 4.5 mA (§5.3: "the WiFi chip
 // wakes up only for every third beacon").
-func WiFiPSIdleModel(listenInterval int) float64 {
+func WiFiPSIdleModel(listenInterval int) units.Amps {
 	const (
-		floorA       = 1.0e-3                // light-sleep + RTC + wake logic
+		floor        = units.Amps(1.0e-3)    // light-sleep + RTC + wake logic
 		wakeWindow   = 11 * time.Millisecond // radio+MCU on around each beacon
-		wakeCurrentA = 100e-3                // radio listening
+		wakeCurrent  = units.Amps(100e-3)    // radio listening
 		beaconPeriod = 102400 * time.Microsecond
 	)
 	duty := wakeWindow.Seconds() / (float64(listenInterval) * beaconPeriod.Seconds())
-	return floorA + wakeCurrentA*duty
+	return floor + units.Scale(wakeCurrent, duty)
 }
 
 // RunListenIntervalAblation sweeps LI 1..10.
 func RunListenIntervalAblation() []ListenIntervalPoint {
 	return engine.MapValues(Pool(), 10, func(i int) ListenIntervalPoint {
 		li := i + 1
-		return ListenIntervalPoint{ListenInterval: li, IdleCurrentA: WiFiPSIdleModel(li)}
+		return ListenIntervalPoint{ListenInterval: li, IdleCurrent: WiFiPSIdleModel(li)}
 	})
 }
 
@@ -208,7 +209,7 @@ func RunJitterStudy(ppms []float64, cycles int) []JitterPoint {
 			delivered++
 			arrivals = append(arrivals, meta.At)
 		}
-		w.sched.RunUntil(sim.FromDuration(period) * sim.Time(cycles+1))
+		w.sched.RunUntil(sim.FromDuration(time.Duration(cycles+1) * period))
 
 		contended := 0
 		for i := 1; i < len(arrivals); i++ {
@@ -282,7 +283,7 @@ func RunBatteryProjection(table *Table1Result, interval time.Duration) []Battery
 	return engine.MapValues(Pool(), len(scenarios), func(i int) BatteryPoint {
 		return BatteryPoint{
 			Name: scenarios[i].Name,
-			Life: scenarios[i].BatteryLife(energy.CR2032CapacityMAh, interval),
+			Life: scenarios[i].BatteryLife(energy.CR2032Capacity, interval),
 		}
 	})
 }
@@ -342,7 +343,7 @@ func RunHopperStudy(channelCounts []int) []HopperPoint {
 		}
 		hopper := core.NewChannelHopper(sched, dwell, scanners...)
 		hopper.Start()
-		sched.RunUntil(sim.FromDuration(period) * sim.Time(cycles))
+		sched.RunUntil(sim.FromDuration(time.Duration(cycles) * period))
 		hopper.Stop()
 		transmitted = n * (cycles - 1)
 		captured := hopper.Messages()
@@ -430,15 +431,15 @@ func RunGoodputStudy() (*GoodputResult, error) {
 		return nil, err
 	}
 	airtime := phy.FrameAirtime(phy.RateHTMCS7SGI, len(raw))
-	wileEnergy := esp32.TxBurstCurrentA * esp32.VoltageV * (esp32.TxRampUp + airtime).Seconds()
+	wileEnergy := units.Energy(units.Power(esp32.Voltage, esp32.TxBurstCurrent), esp32.TxRampUp+airtime)
 
-	bleEnergy := ble.ConnectionEventEnergyJ()
+	bleEnergy := ble.ConnectionEventEnergy()
 	return &GoodputResult{
 		WiLEPayloadPerMsg: len(payload),
 		WiLEMaxPerBeacon:  core.MaxPayload,
 		BLEPayloadPerMsg:  ble.MaxAdvData,
-		WiLEJoulesPerByte: wileEnergy / float64(len(payload)),
-		BLEJoulesPerByte:  bleEnergy / float64(ble.MaxAdvData),
+		WiLEJoulesPerByte: float64(wileEnergy) / float64(len(payload)),
+		BLEJoulesPerByte:  float64(bleEnergy) / float64(ble.MaxAdvData),
 	}, nil
 }
 
@@ -484,7 +485,7 @@ func RunInterferenceStudy(duties []float64) []InterferencePoint {
 		delivered := 0
 		scanner.OnMessage = func(m *core.Message, meta core.Meta) {
 			delivered++
-			expected := sim.FromDuration(period) * sim.Time(int(m.Seq)+1)
+			expected := sim.FromDuration(time.Duration(m.Seq+1) * period)
 			totalDelay += meta.At.Sub(expected)
 		}
 
@@ -509,7 +510,7 @@ func RunInterferenceStudy(duties []float64) []InterferencePoint {
 		}
 
 		sensor.Run()
-		w.sched.RunUntil(sim.FromDuration(period) * sim.Time(cycles))
+		w.sched.RunUntil(sim.FromDuration(time.Duration(cycles) * period))
 		sensor.Stop()
 
 		point := InterferencePoint{Duty: duty, Collisions: w.med.Stats.Collisions}
@@ -544,7 +545,7 @@ type CarrierPoint struct {
 	Receivable string
 	Bytes      int
 	Airtime    time.Duration
-	EnergyJ    float64
+	Energy     units.Joules
 }
 
 // RunCarrierAblation compares the three plausible connection-less carrier
@@ -561,13 +562,13 @@ func RunCarrierAblation() ([]CarrierPoint, error) {
 	payload := frags[0]
 	from := dot11.LocalMAC(0x1001)
 
-	cost := func(f dot11.Frame) (int, time.Duration, float64, error) {
+	cost := func(f dot11.Frame) (int, time.Duration, units.Joules, error) {
 		raw, err := dot11.Marshal(f)
 		if err != nil {
 			return 0, 0, 0, err
 		}
 		at := phy.FrameAirtime(phy.RateHTMCS7SGI, len(raw))
-		e := esp32.TxBurstCurrentA * esp32.VoltageV * (esp32.TxRampUp + at).Seconds()
+		e := units.Energy(units.Power(esp32.Voltage, esp32.TxBurstCurrent), esp32.TxRampUp+at)
 		return len(raw), at, e, nil
 	}
 
@@ -598,7 +599,7 @@ func RunCarrierAblation() ([]CarrierPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, CarrierPoint{Carrier: c.name, Receivable: c.rx, Bytes: n, Airtime: at, EnergyJ: e})
+		out = append(out, CarrierPoint{Carrier: c.name, Receivable: c.rx, Bytes: n, Airtime: at, Energy: e})
 	}
 	return out, nil
 }

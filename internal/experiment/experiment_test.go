@@ -9,6 +9,7 @@ import (
 	"wile/internal/dot11"
 	"wile/internal/meter"
 	"wile/internal/sim"
+	"wile/internal/units"
 )
 
 // --- Table 1 ---
@@ -27,10 +28,10 @@ func TestTable1ReproducesPaper(t *testing.T) {
 	for _, r := range res.Rows {
 		if e := math.Abs(r.EnergyError()); e > 0.15 {
 			t.Errorf("%s energy %.3g J deviates %.0f%% from paper %.3g J",
-				r.Name, r.EnergyPerPacketJ, e*100, r.PaperEnergyJ)
+				r.Name, float64(r.EnergyPerPacket), e*100, float64(r.PaperEnergy))
 		}
-		if r.IdleCurrentA != r.PaperIdleA {
-			t.Errorf("%s idle %.3g A, paper %.3g A", r.Name, r.IdleCurrentA, r.PaperIdleA)
+		if r.IdleCurrent != r.PaperIdle {
+			t.Errorf("%s idle %.3g A, paper %.3g A", r.Name, float64(r.IdleCurrent), float64(r.PaperIdle))
 		}
 	}
 	// Relative claims — the shape that must hold:
@@ -42,25 +43,25 @@ func TestTable1ReproducesPaper(t *testing.T) {
 	dc, ps := byName["WiFi-DC"], byName["WiFi-PS"]
 	// "Wi-LE's energy per packet is 84 µJ which is very close to that of
 	// BLE": within 1.5×.
-	if ratio := wile.EnergyPerPacketJ / ble.EnergyPerPacketJ; ratio < 0.67 || ratio > 1.5 {
+	if ratio := units.Ratio(wile.EnergyPerPacket, ble.EnergyPerPacket); ratio < 0.67 || ratio > 1.5 {
 		t.Errorf("Wi-LE/BLE energy ratio %.2f not close", ratio)
 	}
 	// "the energy per packet for BLE is almost three orders of magnitude
 	// lower than WiFi-PS".
-	if ps.EnergyPerPacketJ/ble.EnergyPerPacketJ < 100 {
+	if units.Ratio(ps.EnergyPerPacket, ble.EnergyPerPacket) < 100 {
 		t.Error("WiFi-PS not ≫ BLE")
 	}
 	// WiFi-PS is "an order of magnitude smaller" than WiFi-DC.
-	if dc.EnergyPerPacketJ/ps.EnergyPerPacketJ < 8 {
-		t.Errorf("WiFi-DC/WiFi-PS ratio %.1f, want ≳10", dc.EnergyPerPacketJ/ps.EnergyPerPacketJ)
+	if units.Ratio(dc.EnergyPerPacket, ps.EnergyPerPacket) < 8 {
+		t.Errorf("WiFi-DC/WiFi-PS ratio %.1f, want ≳10", units.Ratio(dc.EnergyPerPacket, ps.EnergyPerPacket))
 	}
 	// "idle current consumption is about 2000 times more in WiFi-PS".
-	if ratio := ps.IdleCurrentA / dc.IdleCurrentA; ratio < 1000 || ratio > 3000 {
+	if ratio := units.Ratio(ps.IdleCurrent, dc.IdleCurrent); ratio < 1000 || ratio > 3000 {
 		t.Errorf("WiFi-PS/WiFi-DC idle ratio %.0f, paper: ~2000", ratio)
 	}
 	// The prototype's full wake cycle is far above the TX window (the
 	// §5.4 discussion about MCU init dominating).
-	if res.WiLEFullCycleJ < 100*wile.EnergyPerPacketJ {
+	if res.WiLEFullCycle < 100*wile.EnergyPerPacket {
 		t.Error("full-cycle energy implausibly close to TX window")
 	}
 }
@@ -90,7 +91,7 @@ func TestTable1Deterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a.Rows {
-		if a.Rows[i].EnergyPerPacketJ != b.Rows[i].EnergyPerPacketJ {
+		if a.Rows[i].EnergyPerPacket != b.Rows[i].EnergyPerPacket {
 			t.Fatalf("%s energy differs across runs", a.Rows[i].Name)
 		}
 	}
@@ -141,22 +142,22 @@ func TestFig3aPhaseStructure(t *testing.T) {
 		t.Errorf("Tx at %v, paper: ≈1.78 s", txAt)
 	}
 	// Meter and device integrals agree.
-	if math.Abs(tr.EnergyJ-tr.DeviceEnergyJ) > tr.DeviceEnergyJ*0.02 {
-		t.Errorf("meter %.4g J vs device %.4g J", tr.EnergyJ, tr.DeviceEnergyJ)
+	if math.Abs(float64(tr.Energy-tr.DeviceEnergy)) > float64(tr.DeviceEnergy)*0.02 {
+		t.Errorf("meter %.4g J vs device %.4g J", float64(tr.Energy), float64(tr.DeviceEnergy))
 	}
 	// Episode energy ≈ Table 1 WiFi-DC.
-	if tr.EnergyJ < 238.2e-3*0.85 || tr.EnergyJ > 238.2e-3*1.15 {
-		t.Errorf("trace energy %.1f mJ vs paper 238.2 mJ", tr.EnergyJ*1000)
+	if tr.Energy < units.Scale(units.MilliJoules(238.2), 0.85) || tr.Energy > units.Scale(units.MilliJoules(238.2), 1.15) {
+		t.Errorf("trace energy %.1f mJ vs paper 238.2 mJ", tr.Energy.Milli())
 	}
 	// The DHCP plateau sits in the 20–30 mA band the paper describes.
 	m := meterOf(tr)
-	plateau := m.MeanCurrentA(dhcpStart+50*sim.Millisecond, dhcpEnd-50*sim.Millisecond)
-	if plateau < 0.018 || plateau > 0.035 {
-		t.Errorf("DHCP plateau %.1f mA, paper: 20-30 mA", plateau*1000)
+	plateau := m.MeanCurrent(dhcpStart+50*sim.Millisecond, dhcpEnd-50*sim.Millisecond)
+	if plateau < units.MilliAmps(18) || plateau > units.MilliAmps(35) {
+		t.Errorf("DHCP plateau %.1f mA, paper: 20-30 mA", plateau.Milli())
 	}
 	// Spikes reach the TX current during the mgmt exchange.
-	if peak := m.PeakCurrentA(mgmtStart, mgmtEnd); peak < 0.17 {
-		t.Errorf("mgmt peak %.0f mA, want TX spikes ≈180 mA", peak*1000)
+	if peak := m.PeakCurrent(mgmtStart, mgmtEnd); peak < units.MilliAmps(170) {
+		t.Errorf("mgmt peak %.0f mA, want TX spikes ≈180 mA", peak.Milli())
 	}
 }
 
@@ -171,8 +172,8 @@ func TestFig3bShorterAndCheaper(t *testing.T) {
 	}
 	// §5.2: Wi-LE's init "is shorter when compared with the WiFi case",
 	// and the total time and energy are far lower.
-	if b.EnergyJ >= a.EnergyJ/2 {
-		t.Errorf("Wi-LE trace %.1f mJ not ≪ WiFi %.1f mJ", b.EnergyJ*1000, a.EnergyJ*1000)
+	if b.Energy >= units.Scale(a.Energy, 0.5) {
+		t.Errorf("Wi-LE trace %.1f mJ not ≪ WiFi %.1f mJ", b.Energy.Milli(), a.Energy.Milli())
 	}
 	// Wi-LE's whole episode ends well before WiFi even associates.
 	var bEnd sim.Time
@@ -233,10 +234,10 @@ func TestFig4ShapeMatchesPaper(t *testing.T) {
 	for _, s := range fig.Series {
 		byName[s.Name] = s.Points
 	}
-	at := func(name string, interval time.Duration) float64 {
+	at := func(name string, interval time.Duration) units.Watts {
 		for _, p := range byName[name] {
 			if p.Interval == interval {
-				return p.PowerW
+				return p.Power
 			}
 		}
 		t.Fatalf("no %s point at %v", name, interval)
@@ -245,20 +246,20 @@ func TestFig4ShapeMatchesPaper(t *testing.T) {
 	// Power decreases with interval for every technology.
 	for name, pts := range byName {
 		for i := 1; i < len(pts); i++ {
-			if pts[i].PowerW > pts[i-1].PowerW {
+			if pts[i].Power > pts[i-1].Power {
 				t.Fatalf("%s power increases at %v", name, pts[i].Interval)
 			}
 		}
 	}
 	// At one minute: Wi-LE ≈ BLE, both ≥100× below the WiFi modes.
 	minute := time.Minute
-	if r := at("Wi-LE", minute) / at("BLE", minute); r < 0.3 || r > 4 {
+	if r := units.Ratio(at("Wi-LE", minute), at("BLE", minute)); r < 0.3 || r > 4 {
 		t.Errorf("Wi-LE/BLE ratio %.2f at 1 min", r)
 	}
-	if at("WiFi-PS", minute)/at("Wi-LE", minute) < 100 {
+	if units.Ratio(at("WiFi-PS", minute), at("Wi-LE", minute)) < 100 {
 		t.Error("WiFi-PS not ≫ Wi-LE at 1 min")
 	}
-	if at("WiFi-DC", minute)/at("Wi-LE", minute) < 100 {
+	if units.Ratio(at("WiFi-DC", minute), at("Wi-LE", minute)) < 100 {
 		t.Error("WiFi-DC not ≫ Wi-LE at 1 min")
 	}
 	// Crossover: "if a device transmits its data more than once per
@@ -348,13 +349,13 @@ func TestBitrateAblationShape(t *testing.T) {
 	if first.Rate.Name != "DSSS-1" || last.Rate.Name != "MCS7-SGI" {
 		t.Fatalf("unexpected ordering: %s .. %s", first.Rate.Name, last.Rate.Name)
 	}
-	if first.EnergyJ < 4*last.EnergyJ {
-		t.Errorf("DSSS-1 %.1f µJ not ≫ MCS7-SGI %.1f µJ", first.EnergyJ*1e6, last.EnergyJ*1e6)
+	if first.Energy < 4*last.Energy {
+		t.Errorf("DSSS-1 %.1f µJ not ≫ MCS7-SGI %.1f µJ", first.Energy.Micro(), last.Energy.Micro())
 	}
 	// Airtime decreases monotonically within a modulation family; energy
 	// includes the fixed ramp so overall ordering holds loosely.
-	if last.EnergyJ > 100e-6 {
-		t.Errorf("MCS7-SGI point %.1f µJ implausibly high", last.EnergyJ*1e6)
+	if last.Energy > units.MicroJoules(100) {
+		t.Errorf("MCS7-SGI point %.1f µJ implausibly high", last.Energy.Micro())
 	}
 }
 
@@ -372,7 +373,7 @@ func TestPayloadAblationKink(t *testing.T) {
 		case 2, 3, 4:
 			sawTwo = true
 		}
-		if p.PayloadBytes > 0 && p.EnergyJ <= 0 {
+		if p.PayloadBytes > 0 && p.Energy <= 0 {
 			t.Fatal("non-positive energy")
 		}
 	}
@@ -380,7 +381,7 @@ func TestPayloadAblationKink(t *testing.T) {
 		t.Fatalf("fragmentation kink not observed (one=%v multi=%v)", sawOne, sawTwo)
 	}
 	// Energy grows with payload.
-	if points[len(points)-1].EnergyJ <= points[0].EnergyJ {
+	if points[len(points)-1].Energy <= points[0].Energy {
 		t.Error("energy not increasing with payload")
 	}
 }
@@ -391,13 +392,13 @@ func TestListenIntervalAblationCalibration(t *testing.T) {
 		t.Fatalf("%d points", len(points))
 	}
 	// LI=3 reproduces Table 1's 4.5 mA within 5%.
-	li3 := points[2].IdleCurrentA
-	if math.Abs(li3-4.5e-3) > 4.5e-3*0.05 {
-		t.Errorf("LI=3 idle %.2f mA, want 4.5 mA", li3*1000)
+	li3 := points[2].IdleCurrent
+	if math.Abs(float64(li3-units.MilliAmps(4.5))) > 4.5e-3*0.05 {
+		t.Errorf("LI=3 idle %.2f mA, want 4.5 mA", li3.Milli())
 	}
 	// Monotonically decreasing in LI.
 	for i := 1; i < len(points); i++ {
-		if points[i].IdleCurrentA >= points[i-1].IdleCurrentA {
+		if points[i].IdleCurrent >= points[i-1].IdleCurrent {
 			t.Fatal("idle current not decreasing with listen interval")
 		}
 	}
@@ -529,13 +530,13 @@ func TestFastRejoinSavesTheNetworkPhase(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("full rejoin %.1f mJ / %v; cached-lease rejoin %.1f mJ / %v",
-		full.EnergyJ*1e3, full.Duration.Round(time.Millisecond),
-		fast.EnergyJ*1e3, fast.Duration.Round(time.Millisecond))
+		full.Energy.Milli(), full.Duration.Round(time.Millisecond),
+		fast.Energy.Milli(), fast.Duration.Round(time.Millisecond))
 	// Skipping DHCP/ARP removes the ≈640 ms network-wait plateau:
 	// roughly 40 mJ and over half a second.
-	savedJ := full.EnergyJ - fast.EnergyJ
-	if savedJ < 30e-3 || savedJ > 60e-3 {
-		t.Errorf("fast rejoin saves %.1f mJ, expected ≈40 mJ", savedJ*1e3)
+	saved := full.Energy - fast.Energy
+	if saved < units.MilliJoules(30) || saved > units.MilliJoules(60) {
+		t.Errorf("fast rejoin saves %.1f mJ, expected ≈40 mJ", saved.Milli())
 	}
 	if full.Duration-fast.Duration < 500*time.Millisecond {
 		t.Errorf("fast rejoin saves only %v", full.Duration-fast.Duration)
@@ -546,8 +547,8 @@ func TestFastRejoinSavesTheNetworkPhase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fast.EnergyJ/wile.EnergyJ < 1000 {
-		t.Errorf("fast rejoin only %.0f× Wi-LE", fast.EnergyJ/wile.EnergyJ)
+	if units.Ratio(fast.Energy, wile.Energy) < 1000 {
+		t.Errorf("fast rejoin only %.0f× Wi-LE", units.Ratio(fast.Energy, wile.Energy))
 	}
 }
 

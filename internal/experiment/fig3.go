@@ -11,6 +11,7 @@ import (
 	"wile/internal/meter"
 	"wile/internal/obs"
 	"wile/internal/sim"
+	"wile/internal/units"
 )
 
 // Obs bundles the optional observability sinks a run can be wired to: a
@@ -47,10 +48,10 @@ type Trace struct {
 	Samples []meter.Sample
 	// Marks labels the phase boundaries.
 	Marks []esp32.Mark
-	// EnergyJ integrates the trace (meter view).
-	EnergyJ float64
-	// DeviceEnergyJ integrates the exact device waveform (ground truth).
-	DeviceEnergyJ float64
+	// Energy integrates the trace (meter view).
+	Energy units.Joules
+	// DeviceEnergy integrates the exact device waveform (ground truth).
+	DeviceEnergy units.Joules
 	// Window is the observation length.
 	Window time.Duration
 }
@@ -118,11 +119,11 @@ func RunFig3aObs(o *Obs) (*Trace, error) {
 		return nil, fmt.Errorf("experiment: fig3a transmission incomplete within the window")
 	}
 	return &Trace{
-		Samples:       m.Samples,
-		Marks:         dev.Marks(),
-		EnergyJ:       m.EnergyJ(0, sim.FromDuration(figureWindow), esp32.VoltageV),
-		DeviceEnergyJ: dev.EnergyJ(),
-		Window:        figureWindow,
+		Samples:      m.Samples,
+		Marks:        dev.Marks(),
+		Energy:       m.Energy(0, sim.FromDuration(figureWindow), esp32.Voltage),
+		DeviceEnergy: dev.Energy(),
+		Window:       figureWindow,
 	}, nil
 }
 
@@ -170,11 +171,11 @@ func RunFig3bObs(o *Obs) (*Trace, error) {
 		return nil, fmt.Errorf("experiment: fig3b beacon not received")
 	}
 	return &Trace{
-		Samples:       m.Samples,
-		Marks:         sensor.Dev.Marks(),
-		EnergyJ:       m.EnergyJ(0, sim.FromDuration(figureWindow), esp32.VoltageV),
-		DeviceEnergyJ: sensor.Dev.EnergyJ(),
-		Window:        figureWindow,
+		Samples:      m.Samples,
+		Marks:        sensor.Dev.Marks(),
+		Energy:       m.Energy(0, sim.FromDuration(figureWindow), esp32.Voltage),
+		DeviceEnergy: sensor.Dev.Energy(),
+		Window:       figureWindow,
 	}, nil
 }
 
@@ -215,26 +216,26 @@ func (t *Trace) RenderASCII(w io.Writer, width, height int) {
 	}
 	// Bucket samples into columns, keeping each column's max (spikes
 	// matter more than averages in this figure).
-	cols := make([]float64, width)
-	maxA := 0.0
+	cols := make([]units.Amps, width)
+	maxA := units.Amps(0)
 	for _, s := range t.Samples {
 		c := int(float64(s.At) / float64(sim.FromDuration(t.Window)) * float64(width))
 		if c >= width {
 			c = width - 1
 		}
-		if s.CurrentA > cols[c] {
-			cols[c] = s.CurrentA
+		if s.Current > cols[c] {
+			cols[c] = s.Current
 		}
-		if s.CurrentA > maxA {
-			maxA = s.CurrentA
+		if s.Current > maxA {
+			maxA = s.Current
 		}
 	}
 	if maxA == 0 {
-		maxA = 1
+		maxA = units.Amps(1)
 	}
-	fmt.Fprintf(w, "current draw (peak %.0f mA), %v window\n", maxA*1000, t.Window)
+	fmt.Fprintf(w, "current draw (peak %.0f mA), %v window\n", maxA.Milli(), t.Window)
 	for row := height; row >= 1; row-- {
-		threshold := maxA * float64(row) / float64(height)
+		threshold := units.Scale(maxA, float64(row)/float64(height))
 		line := make([]byte, width)
 		for c := range cols {
 			if cols[c] >= threshold {
@@ -245,7 +246,7 @@ func (t *Trace) RenderASCII(w io.Writer, width, height int) {
 		}
 		label := "      "
 		if row == height {
-			label = fmt.Sprintf("%4.0fmA", maxA*1000)
+			label = fmt.Sprintf("%4.0fmA", maxA.Milli())
 		} else if row == 1 {
 			label = "   0mA"
 		}

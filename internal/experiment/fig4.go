@@ -8,12 +8,13 @@ import (
 
 	"wile/internal/energy"
 	"wile/internal/engine"
+	"wile/internal/units"
 )
 
 // Fig4Point is one (interval, power) sample of one curve.
 type Fig4Point struct {
 	Interval time.Duration
-	PowerW   float64
+	Power    units.Watts
 }
 
 // Fig4Series is one technology's curve.
@@ -56,7 +57,7 @@ func RunFig4(table *Table1Result, intervals []time.Duration) *Fig4Result {
 		sc := scenarios[i]
 		pts := make([]Fig4Point, len(intervals))
 		for j, interval := range intervals {
-			pts[j] = Fig4Point{Interval: interval, PowerW: sc.AveragePowerW(interval)}
+			pts[j] = Fig4Point{Interval: interval, Power: sc.AveragePower(interval)}
 		}
 		return Fig4Series{Name: sc.Name, Points: pts}
 	})
@@ -79,12 +80,12 @@ func findCrossover(scenarios []energy.Scenario) time.Duration {
 		return 0
 	}
 	lo, hi := time.Second, 10*time.Minute
-	if dc.AveragePowerW(lo) <= ps.AveragePowerW(lo) {
+	if dc.AveragePower(lo) <= ps.AveragePower(lo) {
 		return 0 // no crossover in range
 	}
 	for i := 0; i < 60; i++ {
 		mid := (lo + hi) / 2
-		if dc.AveragePowerW(mid) > ps.AveragePowerW(mid) {
+		if dc.AveragePower(mid) > ps.AveragePower(mid) {
 			lo = mid
 		} else {
 			hi = mid
@@ -113,7 +114,7 @@ func (r *Fig4Result) WriteCSV(w io.Writer) error {
 			return err
 		}
 		for _, s := range r.Series {
-			if _, err := fmt.Fprintf(w, ",%.6g", s.Points[i].PowerW*1000); err != nil {
+			if _, err := fmt.Fprintf(w, ",%.6g", s.Points[i].Power.Milli()); err != nil {
 				return err
 			}
 		}
@@ -137,7 +138,7 @@ func (r *Fig4Result) RenderASCII(w io.Writer, width, height int) {
 	minLog, maxLog := math.Inf(1), math.Inf(-1)
 	for _, s := range r.Series {
 		for _, p := range s.Points {
-			l := math.Log10(p.PowerW * 1000) // mW
+			l := math.Log10(p.Power.Milli()) // mW
 			minLog = math.Min(minLog, l)
 			maxLog = math.Max(maxLog, l)
 		}
@@ -155,7 +156,7 @@ func (r *Fig4Result) RenderASCII(w io.Writer, width, height int) {
 		}
 		for _, p := range s.Points {
 			x := int(float64(p.Interval) / float64(maxInterval) * float64(width-1))
-			l := math.Log10(p.PowerW * 1000)
+			l := math.Log10(p.Power.Milli())
 			y := int((l - minLog) / (maxLog - minLog) * float64(height-1))
 			row := height - 1 - y
 			if row >= 0 && row < height && x >= 0 && x < width {

@@ -24,6 +24,7 @@ import (
 	"wile/internal/phy"
 	"wile/internal/sim"
 	"wile/internal/sta"
+	"wile/internal/units"
 )
 
 // Standard testbed layout, mirroring §5.1: one AP, one device a few
@@ -73,24 +74,24 @@ func (w *world) newStation() *sta.Station {
 
 // Episode is one measured transmission episode.
 type Episode struct {
-	// EnergyJ is the episode's energy above the idle floor.
-	EnergyJ float64
+	// Energy is the episode's energy above the idle floor.
+	Energy units.Joules
 	// Duration is how long the device was out of its idle state.
 	Duration time.Duration
-	// IdleCurrentA is the between-episodes current.
-	IdleCurrentA float64
-	// VoltageV is the rail voltage.
-	VoltageV float64
+	// IdleCurrent is the between-episodes current.
+	IdleCurrent units.Amps
+	// Voltage is the rail voltage.
+	Voltage units.Volts
 }
 
 // Scenario converts the measurement into the Equation-1 form.
 func (e Episode) Scenario(name string) energy.Scenario {
 	return energy.Scenario{
-		Name:             name,
-		EnergyPerPacketJ: e.EnergyJ,
-		TxDuration:       e.Duration,
-		IdleCurrentA:     e.IdleCurrentA,
-		VoltageV:         e.VoltageV,
+		Name:            name,
+		EnergyPerPacket: e.Energy,
+		TxDuration:      e.Duration,
+		IdleCurrent:     e.IdleCurrent,
+		Voltage:         e.Voltage,
 	}
 }
 
@@ -99,7 +100,7 @@ func (e Episode) Scenario(name string) energy.Scenario {
 // consider only the time required to transmit the packet"), while Duration
 // covers the whole wake for Equation 1. The full-cycle (as-prototyped)
 // energy is returned separately.
-func MeasureWiLE() (episode Episode, fullCycleJ float64, err error) {
+func MeasureWiLE() (episode Episode, fullCycle units.Joules, err error) {
 	w := newWorld()
 	sensor := core.NewSensor(w.sched, w.med, core.SensorConfig{DeviceID: 0x1001, Position: devicePos})
 	scanner := core.NewScanner(w.sched, w.med, core.ScannerConfig{Position: apPos})
@@ -119,7 +120,7 @@ func MeasureWiLE() (episode Episode, fullCycleJ float64, err error) {
 	}
 
 	// TX-window energy: charge drawn at the TX burst current.
-	var txCharge float64
+	var txCharge units.Coulombs
 	var wakeEnd sim.Time
 	steps := sensor.Dev.Steps()
 	for i, s := range steps {
@@ -127,20 +128,20 @@ func MeasureWiLE() (episode Episode, fullCycleJ float64, err error) {
 		if i+1 < len(steps) {
 			end = steps[i+1].At
 		}
-		if s.CurrentA == esp32.TxBurstCurrentA {
-			txCharge += s.CurrentA * end.Sub(s.At).Seconds()
+		if s.Current == esp32.TxBurstCurrent {
+			txCharge += units.Charge(s.Current, end.Sub(s.At))
 		}
-		if s.CurrentA > esp32.StateCurrentA(esp32.StateDeepSleep) {
+		if s.Current > esp32.StateCurrent(esp32.StateDeepSleep) {
 			wakeEnd = end
 		}
 	}
-	fullCycleJ = sensor.Dev.EnergyJ()
+	fullCycle = sensor.Dev.Energy()
 	return Episode{
-		EnergyJ:      txCharge * esp32.VoltageV,
-		Duration:     wakeEnd.Sub(start),
-		IdleCurrentA: esp32.StateCurrentA(esp32.StateDeepSleep),
-		VoltageV:     esp32.VoltageV,
-	}, fullCycleJ, nil
+		Energy:      txCharge.Energy(esp32.Voltage),
+		Duration:    wakeEnd.Sub(start),
+		IdleCurrent: esp32.StateCurrent(esp32.StateDeepSleep),
+		Voltage:     esp32.Voltage,
+	}, fullCycle, nil
 }
 
 // MeasureBLE returns the CC2541 baseline episode (§5.4: the TI report's
@@ -151,16 +152,16 @@ func MeasureBLE() (Episode, error) {
 	dev := ble.NewDevice(s)
 	dev.PlayConnectionEvent(nil)
 	s.Run()
-	simulated := dev.EnergyJ()
-	analytic := ble.ConnectionEventEnergyJ()
-	if diff := simulated - analytic; diff > analytic*0.01 || diff < -analytic*0.01 {
+	simulated := dev.Energy()
+	analytic := ble.ConnectionEventEnergy()
+	if diff := simulated - analytic; diff > units.Scale(analytic, 0.01) || diff < units.Scale(analytic, -0.01) {
 		return Episode{}, fmt.Errorf("experiment: BLE device/analytic mismatch: %v vs %v", simulated, analytic)
 	}
 	return Episode{
-		EnergyJ:      simulated,
-		Duration:     ble.ConnectionEventDuration(),
-		IdleCurrentA: ble.CC2541SleepCurrentA,
-		VoltageV:     ble.CC2541VoltageV,
+		Energy:      simulated,
+		Duration:    ble.ConnectionEventDuration(),
+		IdleCurrent: ble.CC2541SleepCurrent,
+		Voltage:     ble.CC2541Voltage,
 	}, nil
 }
 
@@ -205,21 +206,21 @@ func MeasureWiFiDC() (Episode, error) {
 		if i+1 < len(steps) {
 			end = steps[i+1].At
 		}
-		if s.CurrentA > esp32.StateCurrentA(esp32.StateDeepSleep) {
+		if s.Current > esp32.StateCurrent(esp32.StateDeepSleep) {
 			wakeEnd = end
 		}
 	}
 	duration := wakeEnd.Sub(start)
-	idle := esp32.StateCurrentA(esp32.StateDeepSleep)
-	total := dev.EnergyJ()
+	idle := esp32.StateCurrent(esp32.StateDeepSleep)
+	total := dev.Energy()
 	// Subtract the deep-sleep floor outside the episode (negligible, but
 	// keep the arithmetic honest).
-	sleepJ := idle * esp32.VoltageV * (w.sched.Now().Sub(start) - duration).Seconds()
+	sleep := units.Energy(units.Power(esp32.Voltage, idle), w.sched.Now().Sub(start)-duration)
 	return Episode{
-		EnergyJ:      total - sleepJ,
-		Duration:     duration,
-		IdleCurrentA: idle,
-		VoltageV:     esp32.VoltageV,
+		Energy:      total - sleep,
+		Duration:    duration,
+		IdleCurrent: idle,
+		Voltage:     esp32.Voltage,
 	}, nil
 }
 
@@ -247,7 +248,7 @@ func MeasureWiFiPS() (Episode, error) {
 		return Episode{}, fmt.Errorf("experiment: power-save entry failed")
 	}
 
-	before := station.Dev.EnergyJ()
+	before := station.Dev.Energy()
 	start := w.sched.Now()
 	var txOK *bool
 	if err := station.SendReadingPS([]byte("temp=17.0"), 5683, func(ok bool) { txOK = &ok }); err != nil {
@@ -257,17 +258,17 @@ func MeasureWiFiPS() (Episode, error) {
 	if txOK == nil || !*txOK {
 		return Episode{}, fmt.Errorf("experiment: WiFi-PS transmission did not complete")
 	}
-	idle := esp32.StateCurrentA(esp32.StateWiFiPSIdle)
+	idle := esp32.StateCurrent(esp32.StateWiFiPSIdle)
 	elapsed := w.sched.Now().Sub(start)
-	episodeJ := station.Dev.EnergyJ() - before - idle*esp32.VoltageV*elapsed.Seconds()
+	episode := station.Dev.Energy() - before - units.Energy(units.Power(esp32.Voltage, idle), elapsed)
 	// Episode duration: wake CPU + listen + transmission, from the
 	// station's timing configuration.
 	dur := station.Cfg.Timing.PSWakeCPU + station.Cfg.Timing.PSWakeListen + 5*time.Millisecond
 	return Episode{
-		EnergyJ:      episodeJ,
-		Duration:     dur,
-		IdleCurrentA: idle,
-		VoltageV:     esp32.VoltageV,
+		Energy:      episode,
+		Duration:    dur,
+		IdleCurrent: idle,
+		Voltage:     esp32.Voltage,
 	}, nil
 }
 
@@ -297,7 +298,7 @@ func MeasureWiFiDCFast() (Episode, error) {
 
 	// Cycle 2: measured fast rejoin.
 	start := w.sched.Now()
-	before := dev.EnergyJ()
+	before := dev.Energy()
 	var joinErr error
 	var txOK *bool
 	dev.SetState(esp32.StateCPUActive)
@@ -333,17 +334,17 @@ func MeasureWiFiDCFast() (Episode, error) {
 		if i+1 < len(steps) {
 			end = steps[i+1].At
 		}
-		if s.CurrentA > esp32.StateCurrentA(esp32.StateDeepSleep) {
+		if s.Current > esp32.StateCurrent(esp32.StateDeepSleep) {
 			wakeEnd = end
 		}
 	}
 	duration := wakeEnd.Sub(start)
-	idle := esp32.StateCurrentA(esp32.StateDeepSleep)
-	episodeJ := dev.EnergyJ() - before - idle*esp32.VoltageV*(w.sched.Now().Sub(start)-duration).Seconds()
+	idle := esp32.StateCurrent(esp32.StateDeepSleep)
+	episode := dev.Energy() - before - units.Energy(units.Power(esp32.Voltage, idle), w.sched.Now().Sub(start)-duration)
 	return Episode{
-		EnergyJ:      episodeJ,
-		Duration:     duration,
-		IdleCurrentA: idle,
-		VoltageV:     esp32.VoltageV,
+		Energy:      episode,
+		Duration:    duration,
+		IdleCurrent: idle,
+		Voltage:     esp32.Voltage,
 	}, nil
 }

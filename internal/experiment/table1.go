@@ -9,34 +9,35 @@ import (
 	"wile/internal/energy"
 	"wile/internal/engine"
 	"wile/internal/obs"
+	"wile/internal/units"
 )
 
 // Table1Row is one technology's measured column of Table 1.
 type Table1Row struct {
 	Name string
-	// EnergyPerPacketJ is the measured per-message energy.
-	EnergyPerPacketJ float64
-	// IdleCurrentA is the measured between-messages current.
-	IdleCurrentA float64
-	// PaperEnergyJ / PaperIdleA are the published values for comparison.
-	PaperEnergyJ float64
-	PaperIdleA   float64
+	// EnergyPerPacket is the measured per-message energy.
+	EnergyPerPacket units.Joules
+	// IdleCurrent is the measured between-messages current.
+	IdleCurrent units.Amps
+	// PaperEnergy / PaperIdle are the published values for comparison.
+	PaperEnergy units.Joules
+	PaperIdle   units.Amps
 	// Episode carries the full measurement for Figure 4.
 	Episode Episode
 }
 
 // EnergyError reports the relative deviation from the paper's value.
 func (r Table1Row) EnergyError() float64 {
-	return (r.EnergyPerPacketJ - r.PaperEnergyJ) / r.PaperEnergyJ
+	return units.Ratio(r.EnergyPerPacket-r.PaperEnergy, r.PaperEnergy)
 }
 
 // Table1Result reproduces Table 1.
 type Table1Result struct {
 	Rows []Table1Row
-	// WiLEFullCycleJ is the as-prototyped Wi-LE wake-cycle energy
+	// WiLEFullCycle is the as-prototyped Wi-LE wake-cycle energy
 	// (§5.4 notes the prototype's init dominates and an ASIC would
 	// remove it; Table 1's Wi-LE row counts the TX window only).
-	WiLEFullCycleJ float64
+	WiLEFullCycle units.Joules
 }
 
 // RunTable1 measures all four scenarios, one engine point each. Every
@@ -47,7 +48,7 @@ func RunTable1() (*Table1Result, error) {
 	type measurement struct {
 		row Table1Row
 		// fullCycle is nonzero only for the Wi-LE point.
-		fullCycle float64
+		fullCycle units.Joules
 	}
 	points := []func() (measurement, error){
 		func() (measurement, error) {
@@ -55,8 +56,8 @@ func RunTable1() (*Table1Result, error) {
 			if err != nil {
 				return measurement{}, err
 			}
-			return measurement{Table1Row{Name: "Wi-LE", EnergyPerPacketJ: ep.EnergyJ,
-				IdleCurrentA: ep.IdleCurrentA, PaperEnergyJ: 84e-6, PaperIdleA: 2.5e-6,
+			return measurement{Table1Row{Name: "Wi-LE", EnergyPerPacket: ep.Energy,
+				IdleCurrent: ep.IdleCurrent, PaperEnergy: units.MicroJoules(84), PaperIdle: units.MicroAmps(2.5),
 				Episode: ep}, fullCycle}, nil
 		},
 		func() (measurement, error) {
@@ -64,8 +65,8 @@ func RunTable1() (*Table1Result, error) {
 			if err != nil {
 				return measurement{}, err
 			}
-			return measurement{row: Table1Row{Name: "BLE", EnergyPerPacketJ: ep.EnergyJ,
-				IdleCurrentA: ep.IdleCurrentA, PaperEnergyJ: 71e-6, PaperIdleA: 1.1e-6,
+			return measurement{row: Table1Row{Name: "BLE", EnergyPerPacket: ep.Energy,
+				IdleCurrent: ep.IdleCurrent, PaperEnergy: units.MicroJoules(71), PaperIdle: units.MicroAmps(1.1),
 				Episode: ep}}, nil
 		},
 		func() (measurement, error) {
@@ -73,8 +74,8 @@ func RunTable1() (*Table1Result, error) {
 			if err != nil {
 				return measurement{}, err
 			}
-			return measurement{row: Table1Row{Name: "WiFi-DC", EnergyPerPacketJ: ep.EnergyJ,
-				IdleCurrentA: ep.IdleCurrentA, PaperEnergyJ: 238.2e-3, PaperIdleA: 2.5e-6,
+			return measurement{row: Table1Row{Name: "WiFi-DC", EnergyPerPacket: ep.Energy,
+				IdleCurrent: ep.IdleCurrent, PaperEnergy: units.MilliJoules(238.2), PaperIdle: units.MicroAmps(2.5),
 				Episode: ep}}, nil
 		},
 		func() (measurement, error) {
@@ -82,8 +83,8 @@ func RunTable1() (*Table1Result, error) {
 			if err != nil {
 				return measurement{}, err
 			}
-			return measurement{row: Table1Row{Name: "WiFi-PS", EnergyPerPacketJ: ep.EnergyJ,
-				IdleCurrentA: ep.IdleCurrentA, PaperEnergyJ: 19.8e-3, PaperIdleA: 4500e-6,
+			return measurement{row: Table1Row{Name: "WiFi-PS", EnergyPerPacket: ep.Energy,
+				IdleCurrent: ep.IdleCurrent, PaperEnergy: units.MilliJoules(19.8), PaperIdle: units.MicroAmps(4500),
 				Episode: ep}}, nil
 		},
 	}
@@ -103,9 +104,9 @@ func RunTable1() (*Table1Result, error) {
 	}
 	for i, m := range ms {
 		res.Rows[i] = m.row
-		res.WiLEFullCycleJ += m.fullCycle
+		res.WiLEFullCycle += m.fullCycle
 		if perPacket != nil {
-			perPacket.Observe(m.row.EnergyPerPacketJ * 1e6)
+			perPacket.Observe(m.row.EnergyPerPacket.Micro())
 		}
 	}
 	return res, nil
@@ -131,14 +132,14 @@ func (t *Table1Result) Render(w io.Writer) {
 		fmt.Fprintf(w, "%-16s %12s %12s %9s %12s %12s\n",
 			label, f(t.Rows[0]), f(t.Rows[1]), "", f(t.Rows[2]), f(t.Rows[3]))
 	}
-	row("Energy/packet", func(r Table1Row) string { return energy.FormatJoules(r.EnergyPerPacketJ) })
-	row("  (paper)", func(r Table1Row) string { return energy.FormatJoules(r.PaperEnergyJ) })
+	row("Energy/packet", func(r Table1Row) string { return energy.FormatJoules(r.EnergyPerPacket) })
+	row("  (paper)", func(r Table1Row) string { return energy.FormatJoules(r.PaperEnergy) })
 	row("  (delta)", func(r Table1Row) string { return fmt.Sprintf("%+.1f%%", r.EnergyError()*100) })
-	row("Idle current", func(r Table1Row) string { return energy.FormatAmps(r.IdleCurrentA) })
-	row("  (paper)", func(r Table1Row) string { return energy.FormatAmps(r.PaperIdleA) })
+	row("Idle current", func(r Table1Row) string { return energy.FormatAmps(r.IdleCurrent) })
+	row("  (paper)", func(r Table1Row) string { return energy.FormatAmps(r.PaperIdle) })
 	fmt.Fprintln(w, strings.Repeat("-", 78))
 	fmt.Fprintf(w, "Wi-LE full wake cycle (prototype incl. MCU boot): %s\n",
-		energy.FormatJoules(t.WiLEFullCycleJ))
+		energy.FormatJoules(t.WiLEFullCycle))
 	fmt.Fprintf(w, "Wi-LE episode duration %v; WiFi-DC episode duration %v\n",
 		t.Rows[0].Episode.Duration.Round(time.Millisecond),
 		t.Rows[2].Episode.Duration.Round(time.Millisecond))

@@ -11,6 +11,7 @@ import (
 
 	"wile/internal/obs"
 	"wile/internal/sim"
+	"wile/internal/units"
 )
 
 // DefaultSampleRate is the 34465A's digitizing rate used in the paper.
@@ -18,13 +19,13 @@ const DefaultSampleRate = 50_000 // samples per second
 
 // Probe supplies the instantaneous current the meter reads.
 type Probe interface {
-	Current() float64
+	Current() units.Amps
 }
 
 // Sample is one reading.
 type Sample struct {
-	At       sim.Time
-	CurrentA float64
+	At      sim.Time
+	Current units.Amps
 }
 
 // Meter samples a probe at a fixed rate on the simulation clock.
@@ -44,7 +45,7 @@ type Meter struct {
 	// costs dozens of trace events instead of 100k.
 	rec        *obs.Recorder
 	track      obs.TrackID
-	lastTraced float64
+	lastTraced units.Amps
 }
 
 // New builds a meter for the probe at rate samples/second.
@@ -87,7 +88,7 @@ func (m *Meter) Start() {
 func (m *Meter) TraceTo(r *obs.Recorder, track obs.TrackID) {
 	m.rec = r
 	m.track = track
-	m.lastTraced = -1 // force the first sample through
+	m.lastTraced = units.Amps(-1) // force the first sample through
 }
 
 func (m *Meter) sample() {
@@ -95,10 +96,10 @@ func (m *Meter) sample() {
 		return
 	}
 	a := m.probe.Current()
-	m.Samples = append(m.Samples, Sample{At: m.sched.Now(), CurrentA: a})
+	m.Samples = append(m.Samples, Sample{At: m.sched.Now(), Current: a})
 	if m.rec != nil && a != m.lastTraced {
 		m.lastTraced = a
-		m.rec.Counter(m.track, m.sched.Now(), a*1000)
+		m.rec.Counter(m.track, m.sched.Now(), a.Milli())
 	}
 	m.tick = m.sched.After(m.period, m.sample)
 }
@@ -112,11 +113,11 @@ func (m *Meter) Stop() {
 	}
 }
 
-// ChargeC integrates the sampled current between t0 and t1 using the
+// Charge integrates the sampled current between t0 and t1 using the
 // rectangle rule (each sample holds until the next) — the same numeric
 // integration a bench engineer applies to exported multimeter data.
-func (m *Meter) ChargeC(t0, t1 sim.Time) float64 {
-	var total float64
+func (m *Meter) Charge(t0, t1 sim.Time) units.Coulombs {
+	var total units.Coulombs
 	for i, s := range m.Samples {
 		if s.At >= t1 {
 			break
@@ -130,31 +131,31 @@ func (m *Meter) ChargeC(t0, t1 sim.Time) float64 {
 			start = t0
 		}
 		if end > start {
-			total += s.CurrentA * end.Sub(start).Seconds()
+			total += units.Charge(s.Current, end.Sub(start))
 		}
 	}
 	return total
 }
 
-// EnergyJ integrates energy between t0 and t1 at the rail voltage v.
-func (m *Meter) EnergyJ(t0, t1 sim.Time, v float64) float64 {
-	return m.ChargeC(t0, t1) * v
+// Energy integrates energy between t0 and t1 at the rail voltage v.
+func (m *Meter) Energy(t0, t1 sim.Time, v units.Volts) units.Joules {
+	return m.Charge(t0, t1).Energy(v)
 }
 
-// MeanCurrentA reports the average current between t0 and t1.
-func (m *Meter) MeanCurrentA(t0, t1 sim.Time) float64 {
+// MeanCurrent reports the average current between t0 and t1.
+func (m *Meter) MeanCurrent(t0, t1 sim.Time) units.Amps {
 	if t1 <= t0 {
 		return 0
 	}
-	return m.ChargeC(t0, t1) / t1.Sub(t0).Seconds()
+	return units.MeanCurrent(m.Charge(t0, t1), t1.Sub(t0))
 }
 
-// PeakCurrentA reports the largest sample between t0 and t1.
-func (m *Meter) PeakCurrentA(t0, t1 sim.Time) float64 {
-	var peak float64
+// PeakCurrent reports the largest sample between t0 and t1.
+func (m *Meter) PeakCurrent(t0, t1 sim.Time) units.Amps {
+	var peak units.Amps
 	for _, s := range m.Samples {
-		if s.At >= t0 && s.At < t1 && s.CurrentA > peak {
-			peak = s.CurrentA
+		if s.At >= t0 && s.At < t1 && s.Current > peak {
+			peak = s.Current
 		}
 	}
 	return peak
@@ -179,7 +180,7 @@ func (m *Meter) WriteCSV(w io.Writer, annotations []Annotation) error {
 		return err
 	}
 	for _, s := range m.Samples {
-		if _, err := fmt.Fprintf(w, "%.6f,%.4f\n", s.At.Seconds(), s.CurrentA*1000); err != nil {
+		if _, err := fmt.Fprintf(w, "%.6f,%.4f\n", s.At.Seconds(), s.Current.Milli()); err != nil {
 			return err
 		}
 	}

@@ -7,12 +7,13 @@ import (
 	"time"
 
 	"wile/internal/sim"
+	"wile/internal/units"
 )
 
 // rampProbe is a probe whose current the test changes explicitly.
-type rampProbe struct{ a float64 }
+type rampProbe struct{ a units.Amps }
 
-func (p *rampProbe) Current() float64 { return p.a }
+func (p *rampProbe) Current() units.Amps { return p.a }
 
 func TestSamplingRateAndCount(t *testing.T) {
 	s := sim.New()
@@ -40,14 +41,14 @@ func TestChargeIntegrationConstantCurrent(t *testing.T) {
 	m.Start()
 	s.RunUntil(sim.Second)
 	m.Stop()
-	got := m.ChargeC(0, sim.Second)
+	got := float64(m.Charge(0, sim.Second))
 	if math.Abs(got-0.05) > 0.05*0.001 {
 		t.Fatalf("charge = %v C, want 0.05", got)
 	}
-	if mean := m.MeanCurrentA(0, sim.Second); math.Abs(mean-0.05) > 1e-6 {
+	if mean := float64(m.MeanCurrent(0, sim.Second)); math.Abs(mean-0.05) > 1e-6 {
 		t.Fatalf("mean = %v", mean)
 	}
-	if e := m.EnergyJ(0, sim.Second, 3.3); math.Abs(e-0.05*3.3) > 0.001 {
+	if e := float64(m.Energy(0, sim.Second, units.Volts(3.3))); math.Abs(e-0.05*3.3) > 0.001 {
 		t.Fatalf("energy = %v", e)
 	}
 }
@@ -61,12 +62,12 @@ func TestChargeIntegrationStepChange(t *testing.T) {
 	s.RunUntil(sim.Second)
 	m.Stop()
 	want := 0.01*0.5 + 0.03*0.5
-	got := m.ChargeC(0, sim.Second)
+	got := float64(m.Charge(0, sim.Second))
 	if math.Abs(got-want) > want*0.001 {
 		t.Fatalf("charge = %v, want %v", got, want)
 	}
 	// Sub-window integration.
-	first := m.ChargeC(0, 500*sim.Millisecond)
+	first := float64(m.Charge(0, 500*sim.Millisecond))
 	if math.Abs(first-0.005) > 0.005*0.01 {
 		t.Fatalf("first half charge = %v", first)
 	}
@@ -81,10 +82,10 @@ func TestPeakCurrent(t *testing.T) {
 	s.After(11*time.Millisecond, func() { p.a = 0.001 })
 	s.RunUntil(20 * sim.Millisecond)
 	m.Stop()
-	if peak := m.PeakCurrentA(0, 20*sim.Millisecond); peak != 0.18 {
+	if peak := m.PeakCurrent(0, 20*sim.Millisecond); peak != units.Amps(0.18) {
 		t.Fatalf("peak = %v", peak)
 	}
-	if peak := m.PeakCurrentA(12*sim.Millisecond, 20*sim.Millisecond); peak != 0.001 {
+	if peak := m.PeakCurrent(12*sim.Millisecond, 20*sim.Millisecond); peak != units.Amps(0.001) {
 		t.Fatalf("post-burst peak = %v", peak)
 	}
 }

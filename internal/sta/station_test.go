@@ -17,6 +17,7 @@ import (
 	"wile/internal/phy"
 	"wile/internal/sim"
 	"wile/internal/sta"
+	"wile/internal/units"
 )
 
 type world struct {
@@ -265,10 +266,10 @@ func TestWiFiDCFullCycleEnergy(t *testing.T) {
 	if txOK == nil || !*txOK {
 		t.Fatal("transmission never completed")
 	}
-	energy := dev.EnergyJ()
-	t.Logf("WiFi-DC episode energy: %.1f mJ (paper: 238.2 mJ)", energy*1e3)
-	if energy < 238.2e-3*0.85 || energy > 238.2e-3*1.15 {
-		t.Errorf("episode energy %.1f mJ outside ±15%% of 238.2 mJ", energy*1e3)
+	energy := dev.Energy()
+	t.Logf("WiFi-DC episode energy: %.1f mJ (paper: 238.2 mJ)", energy.Milli())
+	if energy < units.Scale(units.MilliJoules(238.2), 0.85) || energy > units.Scale(units.MilliJoules(238.2), 1.15) {
+		t.Errorf("episode energy %.1f mJ outside ±15%% of 238.2 mJ", energy.Milli())
 	}
 	// The TX instant lands in the paper's 1.6–1.9 s window.
 	var txAt sim.Time
@@ -307,7 +308,7 @@ func TestWiFiPSEpisodeEnergy(t *testing.T) {
 		t.Fatalf("device state %v", w.sta.Dev.GetState())
 	}
 
-	before := w.sta.Dev.EnergyJ()
+	before := w.sta.Dev.Energy()
 	start := w.sched.Now()
 	var txOK *bool
 	if err := w.sta.SendReadingPS([]byte("temp=21.5"), 5683, func(ok bool) { txOK = &ok }); err != nil {
@@ -317,11 +318,11 @@ func TestWiFiPSEpisodeEnergy(t *testing.T) {
 	if txOK == nil || !*txOK {
 		t.Fatal("PS transmission failed")
 	}
-	episodeIdle := esp32.StateCurrentA(esp32.StateWiFiPSIdle) * esp32.VoltageV * w.sched.Now().Sub(start).Seconds()
-	energy := w.sta.Dev.EnergyJ() - before - episodeIdle // subtract the idle floor outside the episode
-	t.Logf("WiFi-PS episode energy: %.1f mJ above idle (paper: 19.8 mJ)", energy*1e3)
-	if energy < 19.8e-3*0.8 || energy > 19.8e-3*1.2 {
-		t.Errorf("PS episode energy %.1f mJ outside ±20%% of 19.8 mJ", energy*1e3)
+	episodeIdle := units.Energy(units.Power(esp32.Voltage, esp32.StateCurrent(esp32.StateWiFiPSIdle)), w.sched.Now().Sub(start))
+	energy := w.sta.Dev.Energy() - before - episodeIdle // subtract the idle floor outside the episode
+	t.Logf("WiFi-PS episode energy: %.1f mJ above idle (paper: 19.8 mJ)", energy.Milli())
+	if energy < units.Scale(units.MilliJoules(19.8), 0.8) || energy > units.Scale(units.MilliJoules(19.8), 1.2) {
+		t.Errorf("PS episode energy %.1f mJ outside ±20%% of 19.8 mJ", energy.Milli())
 	}
 	if w.sta.Dev.GetState() != esp32.StateWiFiPSIdle {
 		t.Error("device did not return to PS idle")

@@ -86,11 +86,52 @@ func main() {
 	in := flag.String("in", "results/bench_output.txt", "bench output to parse")
 	out := flag.String("out", "BENCH_baseline.json", "JSON file to write")
 	baseline := flag.String("baseline", "", "previous baseline JSON to diff ns/op and allocs/op against")
+	gate := flag.Bool("gate", false, "exit nonzero when the diff against -baseline regresses (ns/op beyond -gate-threshold, or any allocs/op increase)")
+	gateThreshold := flag.Float64("gate-threshold", 25, "ns/op regression percentage the -gate tolerates")
 	flag.Parse()
+	if *gate && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
+		os.Exit(2)
+	}
 	if err := run(*in, *out, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *gate {
+		if regressions := checkGate(*out, *gateThreshold); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "benchjson: gate:", r)
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+// checkGate re-reads the just-written output document and reports every
+// benchmark whose ns/op regressed beyond threshold percent or whose
+// allocs/op grew at all. The output file is written before the gate runs
+// so CI can always upload the artifact, pass or fail.
+func checkGate(outPath string, threshold float64) []string {
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var doc Baseline
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return []string{err.Error()}
+	}
+	var regressions []string
+	for _, d := range doc.Deltas {
+		if d.NsPerOpPct > threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s ns/op regressed %.1f%% (threshold %.0f%%)", d.Name, d.NsPerOpPct, threshold))
+		}
+		if d.AllocsPerOpDiff != nil && *d.AllocsPerOpDiff > 0 {
+			regressions = append(regressions,
+				fmt.Sprintf("%s allocs/op grew by %.0f", d.Name, *d.AllocsPerOpDiff))
+		}
+	}
+	return regressions
 }
 
 func run(in, out, baseline string) error {
