@@ -16,6 +16,7 @@ package wile_test
 //	BenchmarkClaimsJoinFrameCount          mac-frames, hl-frames
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"wile/internal/engine"
 	"wile/internal/experiment"
 	"wile/internal/obs"
+	"wile/internal/sim"
 	"wile/internal/units"
 )
 
@@ -413,6 +415,56 @@ func BenchmarkObsEnabled(b *testing.B) {
 			events = rec.Len()
 		}
 		b.ReportMetric(float64(events), "events/cycle")
+	})
+}
+
+// BenchmarkObsExport pairs the two Recorder sinks over the same synthetic
+// event stream: the in-memory buffer against the bounded-memory spill file.
+// The pair is the cost sheet for picking a sink — streaming trades a flat
+// allocation profile (O(chunk), not O(events)) for the spill file's I/O.
+func BenchmarkObsExport(b *testing.B) {
+	const events = 100_000
+	fill := func(r *obs.Recorder) {
+		dev := r.Track("dev power")
+		cur := r.Track("current_mA")
+		for i := 0; r.Len() < events; i++ {
+			at := sim.Time(i) * sim.Microsecond
+			switch i % 3 {
+			case 0:
+				r.Span(dev, at, at+2*sim.Microsecond, "tx beacon")
+			case 1:
+				r.Counter(cur, at, float64(i%97)*0.31)
+			default:
+				r.Instant(dev, at, "dispatch")
+			}
+		}
+	}
+	b.Run("buffered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := obs.NewRecorder()
+			fill(r)
+			if err := r.WriteChromeTrace(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spill, err := obs.NewSpillSink(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := obs.NewStreamRecorder(spill)
+			fill(r)
+			if err := r.WriteChromeTrace(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+			if err := spill.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -14,6 +14,9 @@
 // CSVs land in the directory named by -out (default "results").
 // -metrics writes a JSON snapshot of the run's counters, gauges and
 // histograms (MAC traffic, engine sweeps, per-experiment energy) to a file.
+// -trace additionally writes Chrome trace-event timelines for the fig3a and
+// fig3b runs (streamed through a bounded-memory spill file; open the JSON at
+// https://ui.perfetto.dev).
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 func main() {
 	out := flag.String("out", "results", "directory for CSV outputs")
 	metrics := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
+	trace := flag.Bool("trace", false, "also write Chrome trace-event JSON timelines for fig3a/fig3b")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -46,6 +50,7 @@ func main() {
 		reg = obs.NewRegistry()
 		defer experiment.SetMetrics(experiment.SetMetrics(reg))
 	}
+	traceTimelines = *trace
 	if err := run(flag.Arg(0), *out); err != nil {
 		fmt.Fprintln(os.Stderr, "wile-lab:", err)
 		os.Exit(1)
@@ -60,8 +65,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wile-lab [-out dir] [-metrics file] {table1|fig3a|fig3b|fig4|claims|joincap|ablations|all}")
+	fmt.Fprintln(os.Stderr, "usage: wile-lab [-out dir] [-metrics file] [-trace] {table1|fig3a|fig3b|fig4|claims|joincap|ablations|all}")
 }
+
+// traceTimelines mirrors the -trace flag for the fig3 runs.
+var traceTimelines bool
 
 func run(cmd, out string) error {
 	switch cmd {
@@ -136,7 +144,18 @@ func table1() error {
 func fig3(out, name string, runner func(*experiment.Obs) (*experiment.Trace, error)) error {
 	// The figure worlds are built per-run, so the package registry (if any)
 	// is threaded in explicitly; a nil registry keeps the disabled path.
-	tr, err := runner(&experiment.Obs{Reg: experiment.Metrics()})
+	o := experiment.Obs{Reg: experiment.Metrics()}
+	if traceTimelines {
+		// The timeline streams through a bounded-memory spill file; the
+		// exported bytes match the in-memory recorder exactly.
+		spill, err := obs.NewSpillSink("")
+		if err != nil {
+			return err
+		}
+		defer spill.Close()
+		o.Rec = obs.NewStreamRecorder(spill)
+	}
+	tr, err := runner(&o)
 	if err != nil {
 		return err
 	}
@@ -148,6 +167,13 @@ func fig3(out, name string, runner func(*experiment.Obs) (*experiment.Trace, err
 		return err
 	}
 	fmt.Println("trace written to", path)
+	if traceTimelines {
+		path := filepath.Join(out, name+"_timeline.json")
+		if err := writeFile(path, o.Rec.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Println("timeline written to", path, "(open at https://ui.perfetto.dev)")
+	}
 	return nil
 }
 

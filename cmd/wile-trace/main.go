@@ -12,7 +12,9 @@
 // -perfetto replaces the CSV with a Chrome trace-event JSON timeline: one
 // track per device/MAC layer plus the meter's current as a counter lane.
 // -sched additionally records every scheduler dispatch as an instant (the
-// firehose view; large). -metrics snapshots the run's counters to a file.
+// firehose view; large) — the recording streams through a temporary spill
+// file, so memory stays bounded no matter how long the run. -metrics
+// snapshots the run's counters to a file.
 package main
 
 import (
@@ -54,7 +56,20 @@ func main() {
 
 	o := experiment.Obs{Sched: *sched}
 	if *perfetto {
-		o.Rec = obs.NewRecorder()
+		if *sched {
+			// The firehose view records one instant per scheduler dispatch
+			// and meter sample — far past what buffering in memory should
+			// cost. Stream through a bounded-memory spill file instead; the
+			// export bytes are identical to the buffered recorder's.
+			spill, err := obs.NewSpillSink("")
+			if err != nil {
+				fatal(err)
+			}
+			defer spill.Close()
+			o.Rec = obs.NewStreamRecorder(spill)
+		} else {
+			o.Rec = obs.NewRecorder()
+		}
 	}
 	if *metrics != "" {
 		o.Reg = obs.NewRegistry()

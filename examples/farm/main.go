@@ -30,6 +30,11 @@ func main() {
 	sched := wile.NewScheduler()
 	med := wile.NewMedium(sched, wile.Channel(1))
 
+	// One registry carries the fleet-wide aggregates; every sensor and the
+	// phone mirror their counters into it, so the delivery arithmetic at the
+	// end comes from a single snapshot instead of per-component bookkeeping.
+	reg := wile.NewRegistry()
+
 	// Sensors on a rough grid across a 50 m × 40 m field.
 	var fleet []*wile.Sensor
 	for i := 0; i < sensors; i++ {
@@ -40,6 +45,7 @@ func main() {
 			// Cheap field hardware: worse crystals than the lab.
 			JitterPPM: 80,
 		})
+		s.Observe(reg)
 		i := i
 		moisture := 35.0 + float64(i%10)
 		s.Sample = func() []wile.Reading {
@@ -61,6 +67,7 @@ func main() {
 		Name:     "phone",
 		Position: wile.Position{X: 0, Y: 0},
 	})
+	phone.Observe(reg)
 	phone.Start()
 	walk := func() {
 		// Map elapsed time to a position on a serpentine over the
@@ -95,9 +102,15 @@ func main() {
 			d.DeviceID, d.Last.Readings[0].Percent(), d.Messages, d.Lost, d.LastRSSI, d.LastSeen)
 	}
 
-	expected := sensors * int(hours*time.Hour/period)
+	// Fleet totals come out of the registry snapshot: the sensors' own
+	// tx_messages counter replaces the schedule-derived estimate, and the
+	// phone's rx side supplies delivery and duplicate rates.
+	transmitted := reg.Counter("wile.tx_messages").Value()
+	collected := reg.Counter("wile.rx_messages").Value()
+	duplicates := reg.Counter("wile.rx_duplicates").Value()
 	fmt.Printf("\nair stats: %d transmissions, %d collisions (CSMA + jitter keep the channel clean)\n",
 		med.Stats.Transmissions, med.Stats.Collisions)
-	fmt.Printf("collected %d of %d transmitted readings; the gap is radio range, not contention\n",
-		phone.Stats.Messages, expected)
+	fmt.Printf("collected %d of %d transmitted readings (%.1f%% delivery, %d duplicates); "+
+		"the gap is radio range, not contention\n",
+		collected, transmitted, 100*float64(collected)/float64(transmitted), duplicates)
 }

@@ -28,7 +28,12 @@ func main() {
 		Position: wile.Position{X: 0},
 		RxWindow: 20 * time.Millisecond,
 	})
+	// The reliability arithmetic at the end comes from a metrics registry
+	// snapshot (Observe mirrors the sensor and reliability counters into it)
+	// rather than hand-rolled counters.
+	reg := wile.NewRegistry()
 	reliable := wile.NewReliableSensor(meterSensor, 12)
+	reliable.Observe(reg)
 	reliable.OnDelivered = func(batch []wile.Reading, attempts int) {
 		fmt.Printf("[%v] delivered %d liters (attempt %d)\n",
 			sched.Now(), batch[0].Value, attempts)
@@ -61,8 +66,13 @@ func main() {
 	sched.RunFor(6 * time.Hour)
 	reliable.Stop()
 
-	fmt.Printf("\n6 hours: %d batches queued, %d delivered, %d retransmissions, %d pending, %d lost\n",
-		reliable.Stats.Queued, reliable.Stats.Delivered,
-		reliable.Stats.Retransmitted, reliable.Pending(), reliable.Stats.GivenUp)
+	queued := reg.Counter("wile.reliable_queued").Value()
+	delivered := reg.Counter("wile.reliable_delivered").Value()
+	fmt.Printf("\n6 hours: %d batches queued, %d delivered (%.0f%%), %d retransmissions, %d pending, %d lost\n",
+		queued, delivered, 100*float64(delivered)/float64(queued),
+		reg.Counter("wile.reliable_retransmitted").Value(), reliable.Pending(),
+		reg.Counter("wile.reliable_given_up").Value())
+	fmt.Printf("uplink messages on air: %d (wakes spent retrying count here too)\n",
+		reg.Counter("wile.tx_messages").Value())
 	fmt.Printf("device energy for the whole story: %.1f mJ\n", meterSensor.Dev.Energy().Milli())
 }

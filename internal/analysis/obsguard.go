@@ -36,6 +36,7 @@ const obsPkgPath = "wile/internal/obs"
 // the obs package's own implementation.
 var obsguardAllowedPrefixes = []string{
 	"wile/cmd/",
+	"wile/examples/",
 	obsPkgPath,
 }
 

@@ -1,0 +1,68 @@
+package core
+
+import "wile/internal/obs"
+
+// Registry mirrors of the protocol-level Stats structs, following the
+// mac.PortMetrics pattern: one metrics struct is shared by every component
+// wired to the same registry, so the registry carries the fleet aggregate
+// (delivery and duplicate rates across a whole deployment) while the
+// per-component Stats keep the local breakdown.
+
+// SensorMetrics mirrors SensorStats into an obs.Registry.
+type SensorMetrics struct {
+	Messages  *obs.Counter
+	Fragments *obs.Counter
+	Downlinks *obs.Counter
+}
+
+// SensorMetricsFor returns the registry's shared transmitter counters,
+// registering them on first use.
+func SensorMetricsFor(reg *obs.Registry) *SensorMetrics {
+	return &SensorMetrics{
+		Messages:  reg.Counter("wile.tx_messages"),
+		Fragments: reg.Counter("wile.tx_fragments"),
+		Downlinks: reg.Counter("wile.rx_downlinks"),
+	}
+}
+
+// ScannerMetrics mirrors ScannerStats into an obs.Registry.
+type ScannerMetrics struct {
+	BeaconsSeen    *obs.Counter
+	OtherBeacons   *obs.Counter
+	Messages       *obs.Counter
+	Duplicates     *obs.Counter
+	DecodeErrors   *obs.Counter
+	EncryptedDrops *obs.Counter
+}
+
+// ScannerMetricsFor returns the registry's shared receiver counters,
+// registering them on first use.
+func ScannerMetricsFor(reg *obs.Registry) *ScannerMetrics {
+	return &ScannerMetrics{
+		BeaconsSeen:    reg.Counter("wile.beacons_seen"),
+		OtherBeacons:   reg.Counter("wile.other_beacons"),
+		Messages:       reg.Counter("wile.rx_messages"),
+		Duplicates:     reg.Counter("wile.rx_duplicates"),
+		DecodeErrors:   reg.Counter("wile.decode_errors"),
+		EncryptedDrops: reg.Counter("wile.encrypted_drops"),
+	}
+}
+
+// ReliableMetrics mirrors ReliableStats into an obs.Registry.
+type ReliableMetrics struct {
+	Queued        *obs.Counter
+	Delivered     *obs.Counter
+	Retransmitted *obs.Counter
+	GivenUp       *obs.Counter
+}
+
+// ReliableMetricsFor returns the registry's shared reliability counters,
+// registering them on first use.
+func ReliableMetricsFor(reg *obs.Registry) *ReliableMetrics {
+	return &ReliableMetrics{
+		Queued:        reg.Counter("wile.reliable_queued"),
+		Delivered:     reg.Counter("wile.reliable_delivered"),
+		Retransmitted: reg.Counter("wile.reliable_retransmitted"),
+		GivenUp:       reg.Counter("wile.reliable_given_up"),
+	}
+}

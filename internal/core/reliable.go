@@ -2,6 +2,8 @@ package core
 
 import (
 	"time"
+
+	"wile/internal/obs"
 )
 
 // Reliability layer on the §6 two-way extension.
@@ -26,6 +28,9 @@ type ReliableSensor struct {
 	OnGiveUp func(batch []Reading)
 	// Stats accumulates counters.
 	Stats ReliableStats
+	// Metrics, when non-nil, mirrors the Stats counters into a shared
+	// metrics registry (see ReliableMetricsFor / Observe).
+	Metrics *ReliableMetrics
 
 	queue   []*pendingBatch
 	running bool
@@ -62,9 +67,19 @@ func NewReliableSensor(s *Sensor, maxAttempts int) *ReliableSensor {
 	return r
 }
 
+// Observe mirrors the reliability counters — and the underlying sensor's —
+// into the registry.
+func (r *ReliableSensor) Observe(reg *obs.Registry) {
+	r.S.Observe(reg)
+	r.Metrics = ReliableMetricsFor(reg)
+}
+
 // Queue adds a batch of readings for at-least-once delivery.
 func (r *ReliableSensor) Queue(readings []Reading) {
 	r.Stats.Queued++
+	if r.Metrics != nil {
+		r.Metrics.Queued.Inc()
+	}
 	r.queue = append(r.queue, &pendingBatch{readings: readings})
 }
 
@@ -97,6 +112,9 @@ func (r *ReliableSensor) nextBatch() []Reading {
 	batch := r.queue[0]
 	if batch.attempts > 0 {
 		r.Stats.Retransmitted++
+		if r.Metrics != nil {
+			r.Metrics.Retransmitted.Inc()
+		}
 	}
 	batch.attempts++
 	batch.seq = r.S.Seq() // the sequence number this transmission will use
@@ -114,6 +132,9 @@ func (r *ReliableSensor) handleDownlink(m *Message) {
 	}
 	r.queue = r.queue[1:]
 	r.Stats.Delivered++
+	if r.Metrics != nil {
+		r.Metrics.Delivered.Inc()
+	}
 	if r.OnDelivered != nil {
 		r.OnDelivered(batch.readings, batch.attempts)
 	}
@@ -125,6 +146,9 @@ func (r *ReliableSensor) reapExpired() {
 	for _, b := range r.queue {
 		if b.attempts >= r.MaxAttempts {
 			r.Stats.GivenUp++
+			if r.Metrics != nil {
+				r.Metrics.GivenUp.Inc()
+			}
 			if r.OnGiveUp != nil {
 				r.OnGiveUp(b.readings)
 			}

@@ -76,6 +76,9 @@ type Scanner struct {
 	OnMessage func(*Message, Meta)
 	// Stats accumulates receiver-side counters.
 	Stats ScannerStats
+	// Metrics, when non-nil, mirrors the Stats counters into a shared
+	// metrics registry (see ScannerMetricsFor / Observe).
+	Metrics *ScannerMetrics
 
 	devices map[uint32]*DeviceRecord
 }
@@ -125,9 +128,10 @@ func (sc *Scanner) TraceTo(r *obs.Recorder) {
 	sc.Port.TraceTo(r, r.Track(sc.Cfg.Name+" mac"))
 }
 
-// Observe mirrors the scanner's MAC counters into the registry.
+// Observe mirrors the scanner's MAC and protocol counters into the registry.
 func (sc *Scanner) Observe(reg *obs.Registry) {
 	sc.Port.Metrics = mac.MetricsFor(reg)
+	sc.Metrics = ScannerMetricsFor(reg)
 }
 
 // Start powers the receiver on.
@@ -181,17 +185,31 @@ func (sc *Scanner) handleFrame(f dot11.Frame, rx medium.Reception) {
 	switch {
 	case errors.Is(err, ErrNotWiLE):
 		sc.Stats.OtherBeacons++
+		if sc.Metrics != nil {
+			sc.Metrics.OtherBeacons.Inc()
+		}
 		return
 	case errors.Is(err, ErrNoKey), errors.Is(err, ErrAuth):
 		sc.Stats.BeaconsSeen++
 		sc.Stats.EncryptedDrops++
+		if sc.Metrics != nil {
+			sc.Metrics.BeaconsSeen.Inc()
+			sc.Metrics.EncryptedDrops.Inc()
+		}
 		return
 	case err != nil:
 		sc.Stats.BeaconsSeen++
 		sc.Stats.DecodeErrors++
+		if sc.Metrics != nil {
+			sc.Metrics.BeaconsSeen.Inc()
+			sc.Metrics.DecodeErrors.Inc()
+		}
 		return
 	}
 	sc.Stats.BeaconsSeen++
+	if sc.Metrics != nil {
+		sc.Metrics.BeaconsSeen.Inc()
+	}
 	if msg.Downlink && !sc.Cfg.AcceptDownlink {
 		return
 	}
@@ -203,6 +221,9 @@ func (sc *Scanner) handleFrame(f dot11.Frame, rx medium.Reception) {
 	if known && msg.Seq == rec.LastSeq {
 		rec.Duplicates++
 		sc.Stats.Duplicates++
+		if sc.Metrics != nil {
+			sc.Metrics.Duplicates.Inc()
+		}
 		return
 	}
 	if known {
@@ -218,6 +239,9 @@ func (sc *Scanner) handleFrame(f dot11.Frame, rx medium.Reception) {
 	rec.LastRSSI = rx.RSSI
 	rec.Last = msg
 	sc.Stats.Messages++
+	if sc.Metrics != nil {
+		sc.Metrics.Messages.Inc()
+	}
 	if sc.OnMessage != nil {
 		sc.OnMessage(msg, Meta{RSSI: rx.RSSI, At: rx.End, BSSID: beacon.BSSID()})
 	}

@@ -79,6 +79,9 @@ type Sensor struct {
 	OnDownlink func(*Message)
 	// Stats accumulates transmitter-side counters.
 	Stats SensorStats
+	// Metrics, when non-nil, mirrors the Stats counters into a shared
+	// metrics registry (see SensorMetricsFor / Observe).
+	Metrics *SensorMetrics
 
 	sched   *sim.Scheduler
 	rng     *sim.Rand
@@ -138,9 +141,10 @@ func (s *Sensor) TraceTo(r *obs.Recorder) {
 	s.track = r.Track(name)
 }
 
-// Observe mirrors the sensor's MAC counters into the registry.
+// Observe mirrors the sensor's MAC and protocol counters into the registry.
 func (s *Sensor) Observe(reg *obs.Registry) {
 	s.Port.Metrics = mac.MetricsFor(reg)
+	s.Metrics = SensorMetricsFor(reg)
 }
 
 // BuildBeacon constructs the injected frame for the given message: hidden
@@ -193,6 +197,10 @@ func (s *Sensor) TransmitOnce(readings []Reading, done func(ok bool)) {
 		}
 		s.Stats.Messages++
 		s.Stats.Fragments += len(beacon.Elements.Vendors(OUI))
+		if s.Metrics != nil {
+			s.Metrics.Messages.Inc()
+			s.Metrics.Fragments.Add(int64(len(beacon.Elements.Vendors(OUI))))
+		}
 		if s.rec != nil {
 			s.rec.Instant(s.track, s.sched.Now(), "inject-beacon")
 		}
@@ -246,6 +254,9 @@ func (s *Sensor) handleFrame(f dot11.Frame, rx medium.Reception) {
 		return
 	}
 	s.Stats.Downlinks++
+	if s.Metrics != nil {
+		s.Metrics.Downlinks.Inc()
+	}
 	s.OnDownlink(msg)
 }
 

@@ -38,36 +38,61 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram is a fixed-bucket distribution. Bucket counts are atomic; the
-// running sum is not, so Observe must be called from deterministic call
-// sites (a kernel goroutine, or the caller side of an engine sweep) when
-// snapshots need to be byte-identical across runs — which is how every
-// histogram in this repository is fed.
+// count/sum pair updates and snapshots under one lock, so a snapshot never
+// reports a pair no real instant produced. Observe must still be called
+// from deterministic call sites (a kernel goroutine, or the caller side of
+// an engine sweep) when snapshots need to be byte-identical across runs —
+// which is how every histogram in this repository is fed.
 type Histogram struct {
 	bounds  []float64 // inclusive upper bounds, ascending; implicit +Inf last
 	buckets []atomic.Int64
-	count   atomic.Int64
+	nan     atomic.Int64
 	mu      sync.Mutex
+	count   int64
 	sum     float64
 }
 
-// Observe records one sample.
+// Observe records one sample. NaN is not a measurement: it would poison
+// the running sum for good and has no bucket it meaningfully belongs to,
+// so NaN samples are dropped and tallied in a dedicated counter
+// (NaNDropped, the "nan" field of the snapshot) instead.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		h.nan.Add(1)
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[i].Add(1)
-	h.count.Add(1)
 	h.mu.Lock()
+	h.count++
 	h.sum += v
 	h.mu.Unlock()
 }
 
 // Count reports the number of observations.
-func (h *Histogram) Count() int64 { return h.count.Load() }
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Sum reports the total of all observed values.
 func (h *Histogram) Sum() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.sum
+}
+
+// NaNDropped reports how many NaN samples Observe discarded.
+func (h *Histogram) NaNDropped() int64 { return h.nan.Load() }
+
+// snapshot reads the count/sum pair in one critical section, so the two
+// values always belong to the same observation prefix even when a snapshot
+// races an Observe.
+func (h *Histogram) snapshot() (count int64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum
 }
 
 // Registry is a named collection of metrics. Metric constructors are
@@ -196,11 +221,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		if !ok {
 			return "", false
 		}
+		count, sum := h.snapshot()
 		var b []byte
 		b = append(b, `{"count":`...)
-		b = strconv.AppendInt(b, h.Count(), 10)
+		b = strconv.AppendInt(b, count, 10)
 		b = append(b, `,"sum":`...)
-		b = append(b, formatValue(h.Sum())...)
+		b = append(b, formatValue(sum)...)
+		b = append(b, `,"nan":`...)
+		b = strconv.AppendInt(b, h.NaNDropped(), 10)
 		b = append(b, `,"buckets":[`...)
 		for i := range h.buckets {
 			if i > 0 {

@@ -87,6 +87,60 @@ func TestObserveScheduler(t *testing.T) {
 	}
 }
 
+// TestMicrosFormatsNegatives pins the timestamp formatter, in particular
+// the negative-time rendering: -1500 ns must read "-1.500", not the
+// "-1.-500" garbage integer division used to produce (JSON numbers with an
+// interior minus sign silently corrupt the whole export).
+func TestMicrosFormatsNegatives(t *testing.T) {
+	cases := []struct {
+		t    sim.Time
+		want string
+	}{
+		{0, "0.000"},
+		{1, "0.001"},
+		{999, "0.999"},
+		{1000, "1.000"},
+		{1500, "1.500"},
+		{210 * sim.Millisecond, "210000.000"},
+		{-1, "-0.001"},
+		{-999, "-0.999"},
+		{-1000, "-1.000"},
+		{-1500, "-1.500"},
+		{-210 * sim.Millisecond, "-210000.000"},
+	}
+	for _, c := range cases {
+		if got := micros(c.t); got != c.want {
+			t.Errorf("micros(%d) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+// TestSpanAndEndClampNegativeDurations pins the recorder's defense against
+// time-travelling slices: a Span whose end precedes its start exports as a
+// zero-length slice at start, and an End before its matching Begin closes
+// at the Begin's timestamp.
+func TestSpanAndEndClampNegativeDurations(t *testing.T) {
+	r := NewRecorder()
+	tr := r.Track("t")
+	r.Span(tr, 2000, 500, "backwards")
+	r.Begin(tr, 3000, "state")
+	r.End(tr, 1000) // before its Begin
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"ts":2.000,"dur":0.000`) {
+		t.Errorf("backwards span not clamped to zero duration:\n%s", out)
+	}
+	if !strings.Contains(out, `"ph":"E","pid":1,"tid":1,"ts":3.000`) {
+		t.Errorf("early End not clamped to its Begin timestamp:\n%s", out)
+	}
+	if strings.Contains(out, `":-`) || strings.Contains(out, ".-") {
+		t.Errorf("clamped trace still contains a negative value:\n%s", out)
+	}
+}
+
 func TestRegistryCountersGaugesHistograms(t *testing.T) {
 	reg := NewRegistry()
 	c := reg.Counter("mac.tx_frames")

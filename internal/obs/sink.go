@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"wile/internal/sim"
+)
+
+// Sink stores a Recorder's event stream between recording and export. The
+// recorder hands events over in chunks (Flush); export pulls them back in
+// record order (Replay). The contract that makes streaming invisible:
+// Replay must yield exactly the events Flush received, unchanged and in
+// order — chunk boundaries may differ — so WriteChromeTrace produces
+// byte-identical output over any correct implementation.
+type Sink interface {
+	// Flush appends one chunk of events to the store. The slice is reused
+	// by the recorder after the call returns; implementations must copy
+	// what they keep.
+	Flush(chunk []Event) error
+	// Replay streams the stored events to yield, in record order, without
+	// consuming them: a second Replay sees the same stream, and events
+	// flushed afterwards append behind it.
+	Replay(yield func(chunk []Event) error) error
+	// Len reports the number of stored events.
+	Len() int
+	// Close releases backing resources (spill files). The sink is
+	// unusable afterwards.
+	Close() error
+}
+
+// MemorySink buffers the whole event stream in memory — the classic
+// recorder storage. Cheap per event, unbounded overall: a firehose run
+// holds every event live until export.
+type MemorySink struct {
+	events []Event
+}
+
+// NewMemorySink returns an empty in-memory store.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Flush appends the chunk to the in-memory log.
+func (m *MemorySink) Flush(chunk []Event) error {
+	m.events = append(m.events, chunk...)
+	return nil
+}
+
+// Replay yields the whole log as one chunk.
+func (m *MemorySink) Replay(yield func(chunk []Event) error) error {
+	return yield(m.events)
+}
+
+// Len reports the number of stored events.
+func (m *MemorySink) Len() int { return len(m.events) }
+
+// Close drops the log.
+func (m *MemorySink) Close() error {
+	m.events = nil
+	return nil
+}
+
+// SpillSink encodes each flushed chunk to a temp file in a compact binary
+// framing, keeping live memory at O(chunk) + O(unique names) no matter how
+// long the trace grows — export cost scales with the chunk, not the trace.
+// Event names are interned through a string table (they repeat massively:
+// "dispatch", power-state names, MAC span labels), so the file stays a few
+// tens of bytes per event and replay allocates each distinct name once.
+//
+// The framing is private to one process run — records are:
+//
+//	'S' uvarint(len) bytes...   define the next string-table id
+//	'E' uvarint(track) ph varint(at) varint(dur) uvarint(nameID+1|0)
+//	    [8-byte value, counters only]
+type SpillSink struct {
+	f     *os.File
+	ids   map[string]uint32 // encode-side intern table
+	buf   []byte            // encode scratch, reused per chunk
+	n     int
+	atEnd bool // file offset is at the append position
+}
+
+// spill record tags.
+const (
+	spillString = 'S'
+	spillEvent  = 'E'
+)
+
+// spillReadBuf sizes the replay read buffer; no single record comes close.
+const spillReadBuf = 64 << 10
+
+// NewSpillSink creates a spill store backed by a fresh temp file in dir
+// (the default temp directory when dir is empty). Close removes the file.
+func NewSpillSink(dir string) (*SpillSink, error) {
+	f, err := os.CreateTemp(dir, "wile-trace-*.spill")
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating spill file: %w", err)
+	}
+	return &SpillSink{f: f, ids: make(map[string]uint32), atEnd: true}, nil
+}
+
+// Flush encodes the chunk and appends it to the spill file.
+func (s *SpillSink) Flush(chunk []Event) error {
+	if s.f == nil {
+		return fmt.Errorf("obs: spill sink is closed")
+	}
+	if !s.atEnd {
+		if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+			return fmt.Errorf("obs: seeking spill file: %w", err)
+		}
+		s.atEnd = true
+	}
+	s.buf = s.buf[:0]
+	for i := range chunk {
+		s.buf = s.appendEvent(s.buf, &chunk[i])
+	}
+	if _, err := s.f.Write(s.buf); err != nil {
+		return fmt.Errorf("obs: writing spill file: %w", err)
+	}
+	s.n += len(chunk)
+	return nil
+}
+
+// appendEvent encodes one event, interning its name.
+func (s *SpillSink) appendEvent(b []byte, e *Event) []byte {
+	nameID := uint64(0)
+	if e.Name != "" {
+		id, ok := s.ids[e.Name]
+		if !ok {
+			id = uint32(len(s.ids))
+			s.ids[e.Name] = id
+			b = append(b, spillString)
+			b = binary.AppendUvarint(b, uint64(len(e.Name)))
+			b = append(b, e.Name...)
+		}
+		nameID = uint64(id) + 1
+	}
+	b = append(b, spillEvent)
+	b = binary.AppendUvarint(b, uint64(e.Track))
+	b = append(b, e.Ph)
+	b = binary.AppendVarint(b, int64(e.At))
+	b = binary.AppendVarint(b, int64(e.Dur))
+	b = binary.AppendUvarint(b, nameID)
+	if e.Ph == phCounter {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Value))
+	}
+	return b
+}
+
+// Replay decodes the spill file from the start, yielding fixed-size chunks.
+// Live memory during replay is one chunk plus the rebuilt string table.
+func (s *SpillSink) Replay(yield func(chunk []Event) error) error {
+	if s.f == nil {
+		return fmt.Errorf("obs: spill sink is closed")
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("obs: rewinding spill file: %w", err)
+	}
+	s.atEnd = false
+	d := &spillDecoder{r: s.f}
+	chunk := make([]Event, 0, ChunkEvents)
+	for {
+		e, ok, err := d.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		chunk = append(chunk, e)
+		if len(chunk) == cap(chunk) {
+			if err := yield(chunk); err != nil {
+				return err
+			}
+			chunk = chunk[:0]
+		}
+	}
+	return yield(chunk)
+}
+
+// Len reports the number of spilled events.
+func (s *SpillSink) Len() int { return s.n }
+
+// Close closes and removes the spill file.
+func (s *SpillSink) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	name := s.f.Name()
+	err := s.f.Close()
+	s.f = nil
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// spillDecoder streams records back out of the spill file, rebuilding the
+// string table as definitions arrive.
+type spillDecoder struct {
+	r     io.Reader
+	buf   []byte // read buffer
+	have  []byte // unparsed window into buf
+	names []string
+	eof   bool
+}
+
+// next decodes the next event, skipping string definitions. ok is false at
+// a clean end of stream.
+func (d *spillDecoder) next() (Event, bool, error) {
+	for {
+		tag, err := d.byte()
+		if err == io.EOF {
+			return Event{}, false, nil
+		}
+		if err != nil {
+			return Event{}, false, err
+		}
+		switch tag {
+		case spillString:
+			n, err := d.uvarint()
+			if err != nil {
+				return Event{}, false, err
+			}
+			raw, err := d.bytes(int(n))
+			if err != nil {
+				return Event{}, false, err
+			}
+			d.names = append(d.names, string(raw))
+		case spillEvent:
+			var e Event
+			track, err := d.uvarint()
+			if err != nil {
+				return Event{}, false, err
+			}
+			e.Track = TrackID(track)
+			ph, err := d.byte()
+			if err != nil {
+				return Event{}, false, err
+			}
+			e.Ph = ph
+			at, err := d.varint()
+			if err != nil {
+				return Event{}, false, err
+			}
+			e.At = sim.Time(at)
+			dur, err := d.varint()
+			if err != nil {
+				return Event{}, false, err
+			}
+			e.Dur = sim.Time(dur)
+			nameID, err := d.uvarint()
+			if err != nil {
+				return Event{}, false, err
+			}
+			if nameID > 0 {
+				if int(nameID) > len(d.names) {
+					return Event{}, false, fmt.Errorf("obs: spill file names %d before defining it", nameID-1)
+				}
+				e.Name = d.names[nameID-1]
+			}
+			if e.Ph == phCounter {
+				raw, err := d.bytes(8)
+				if err != nil {
+					return Event{}, false, err
+				}
+				e.Value = math.Float64frombits(binary.LittleEndian.Uint64(raw))
+			}
+			return e, true, nil
+		default:
+			return Event{}, false, fmt.Errorf("obs: corrupt spill file (tag %q)", tag)
+		}
+	}
+}
+
+// fill ensures at least n unparsed bytes are buffered, or reports io.EOF
+// (clean only at a record boundary; callers of byte detect that).
+func (d *spillDecoder) fill(n int) error {
+	for len(d.have) < n {
+		if d.eof {
+			if len(d.have) == 0 {
+				return io.EOF
+			}
+			return io.ErrUnexpectedEOF
+		}
+		if cap(d.buf) == 0 {
+			d.buf = make([]byte, spillReadBuf)
+		}
+		copy(d.buf, d.have)
+		read, err := d.r.Read(d.buf[len(d.have):cap(d.buf)])
+		d.have = d.buf[:len(d.have)+read]
+		if err == io.EOF {
+			d.eof = true
+		} else if err != nil {
+			return fmt.Errorf("obs: reading spill file: %w", err)
+		}
+	}
+	return nil
+}
+
+func (d *spillDecoder) byte() (byte, error) {
+	if err := d.fill(1); err != nil {
+		return 0, err
+	}
+	b := d.have[0]
+	d.have = d.have[1:]
+	return b, nil
+}
+
+func (d *spillDecoder) bytes(n int) ([]byte, error) {
+	if n > spillReadBuf {
+		return nil, fmt.Errorf("obs: spill record of %d bytes exceeds the read buffer", n)
+	}
+	if err := d.fill(n); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	raw := d.have[:n]
+	d.have = d.have[n:]
+	return raw, nil
+}
+
+func (d *spillDecoder) uvarint() (uint64, error) {
+	var v uint64
+	for shift := 0; ; shift += 7 {
+		b, err := d.byte()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if shift >= 64 {
+			return 0, fmt.Errorf("obs: corrupt spill varint")
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+}
+
+func (d *spillDecoder) varint() (int64, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	// zigzag decode, mirroring binary.AppendVarint.
+	v := int64(u >> 1)
+	if u&1 != 0 {
+		v = ^v
+	}
+	return v, nil
+}

@@ -212,6 +212,15 @@ type Station struct {
 	// ps tracks the power-save beacon listener (powersave.go).
 	ps psState
 
+	// rec/macTrack carry the optional trace recorder (TraceTo): the join
+	// state machine emits one B/E slice per phase (probe, auth, assoc,
+	// 4-way, dhcp, arp) on the MAC track, nesting the port's own frame
+	// spans inside the phase that caused them. phaseOpen remembers whether
+	// a phase slice is currently open so phases close each other.
+	rec       *obs.Recorder
+	macTrack  obs.TrackID
+	phaseOpen bool
+
 	// Pending-completion slots for the data-frame-driven join phases
 	// (EAPOL, DHCP, ARP), each with its timeout timer.
 	handshakeDone  func(error)
@@ -248,6 +257,8 @@ func New(sched *sim.Scheduler, med *medium.Medium, cfg Config) *Station {
 // registering one track per layer. Join phases arrive as instants through
 // the device's MarkPhase calls. Passing a nil recorder detaches.
 func (s *Station) TraceTo(r *obs.Recorder) {
+	s.rec = r
+	s.phaseOpen = false
 	if r == nil {
 		s.Dev.TraceTo(nil, 0)
 		s.Port.TraceTo(nil, 0)
@@ -255,7 +266,32 @@ func (s *Station) TraceTo(r *obs.Recorder) {
 	}
 	name := "sta:" + s.Cfg.Addr.String()
 	s.Dev.TraceTo(r, r.Track(name+" power"))
-	s.Port.TraceTo(r, r.Track(name+" mac"))
+	s.macTrack = r.Track(name + " mac")
+	s.Port.TraceTo(r, s.macTrack)
+}
+
+// beginJoinPhase opens a join-phase slice on the MAC track, closing the
+// previous phase first: phases are sequential, never nested in each other.
+func (s *Station) beginJoinPhase(name string) {
+	if s.rec == nil {
+		return
+	}
+	now := s.sched.Now()
+	if s.phaseOpen {
+		s.rec.End(s.macTrack, now)
+	}
+	s.rec.Begin(s.macTrack, now, name)
+	s.phaseOpen = true
+}
+
+// endJoinPhase closes the open phase slice, if any; every Join exit path
+// funnels through it so a failed join still reads cleanly in the timeline.
+func (s *Station) endJoinPhase() {
+	if s.rec == nil || !s.phaseOpen {
+		return
+	}
+	s.rec.End(s.macTrack, s.sched.Now())
+	s.phaseOpen = false
 }
 
 // Observe mirrors the station's MAC counters into the registry.
@@ -369,6 +405,7 @@ func (s *Station) Join(done func(error)) {
 	finish := func(err error) {
 		s.busy = false
 		s.clearAwait()
+		s.endJoinPhase()
 		if err != nil {
 			s.Port.SetRadioOn(false)
 		}
@@ -377,6 +414,7 @@ func (s *Station) Join(done func(error)) {
 	s.Port.SetRadioOn(true)
 	s.Dev.SetState(esp32.StateRadioListen)
 	s.Dev.MarkPhase("Probe/Auth./Associate")
+	s.beginJoinPhase("probe")
 	s.probe(0, finish)
 }
 
@@ -412,6 +450,7 @@ func (s *Station) probe(attempt int, finish func(error)) {
 
 // authenticate runs open-system authentication.
 func (s *Station) authenticate(finish func(error)) {
+	s.beginJoinPhase("auth")
 	req := &dot11.Auth{Algorithm: dot11.AuthOpen, Seq: 1}
 	req.Header.Addr1 = s.bssid
 	req.Header.Addr2 = s.Cfg.Addr
@@ -435,6 +474,7 @@ func (s *Station) authenticate(finish func(error)) {
 
 // associate sends the association request and prepares the supplicant.
 func (s *Station) associate(finish func(error)) {
+	s.beginJoinPhase("assoc")
 	req := &dot11.AssocReq{
 		Capability:     dot11.CapESS | dot11.CapPrivacy,
 		ListenInterval: s.Cfg.ListenInterval,
@@ -468,6 +508,7 @@ func (s *Station) associate(finish func(error)) {
 // prepareHandshake arms the supplicant and waits for M1 (which arrives as
 // an EAPOL data frame through handleDownlink).
 func (s *Station) prepareHandshake(finish func(error)) {
+	s.beginJoinPhase("4-way")
 	var snonce [crypto80211.NonceLen]byte
 	for i := range snonce {
 		snonce[i] = byte(s.rng.Uint64())
@@ -586,6 +627,7 @@ func (s *Station) finishHandshake(err error) {
 	}
 	// Bring up the network stack, then DHCP.
 	s.Dev.MarkPhase("DHCP/ARP")
+	s.beginJoinPhase("dhcp")
 	s.Dev.SetState(esp32.StateNetworkWait)
 	s.sched.DoAfter(s.Cfg.Timing.StackSetup, func() { s.startDHCP(d) })
 }
@@ -705,6 +747,7 @@ func (s *Station) finishDHCP(err error) {
 // which real DHCP clients emit for conflict detection — the 7th
 // "higher-layer frame" of §3.1), then resolves the gateway's MAC.
 func (s *Station) startARP(finish func(error)) {
+	s.beginJoinPhase("arp")
 	announce := netstack.NewARPRequest([6]byte(s.Cfg.Addr), s.IP, s.IP)
 	s.sendMSDU(dot11.Broadcast, netstack.WrapSNAP(netstack.EtherTypeARP, announce.Append(nil)), nil)
 

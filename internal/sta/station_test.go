@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"wile/internal/mac"
 	"wile/internal/medium"
 	"wile/internal/netstack"
+	"wile/internal/obs"
 	"wile/internal/phy"
 	"wile/internal/sim"
 	"wile/internal/sta"
@@ -799,5 +801,81 @@ func TestFiveStationsJoinConcurrently(t *testing.T) {
 	w.sched.RunFor(2 * sim.Second.Duration())
 	if oks != n {
 		t.Fatalf("%d of %d post-join transmissions succeeded", oks, n)
+	}
+}
+
+// TestJoinPhaseSpans verifies the join state machine emits one B/E slice
+// per phase on the MAC track — probe, auth, assoc, 4-way, dhcp, arp, in
+// that order — with every opened slice closed by the time Join completes,
+// so the Figure-3a timeline shows the phases as nested spans instead of
+// bare instants.
+func TestJoinPhaseSpans(t *testing.T) {
+	w := newWorld()
+	rec := obs.NewRecorder()
+	w.sta.TraceTo(rec)
+	if err := w.join(t); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The phase names are unique to the join slices (the MAC's own frame
+	// spans are "tx auth", "rx assoc-resp", ... — never the bare phase
+	// name), so ordered substring search pins both presence and order.
+	last := -1
+	for _, phase := range []string{"probe", "auth", "assoc", "4-way", "dhcp", "arp"} {
+		idx := strings.Index(out, `"name":"`+phase+`"}`)
+		if idx < 0 {
+			t.Fatalf("no slice named %q in the trace:\n%s", phase, out)
+		}
+		lineStart := strings.LastIndexByte(out[:idx], '\n') + 1
+		if !strings.HasPrefix(out[lineStart:], `{"ph":"B","pid":1,"tid":2,`) { // mac track is tid 2
+			t.Fatalf("%q slice is not a B event on the mac track: %s", phase, out[lineStart:idx+24])
+		}
+		if idx <= last {
+			t.Fatalf("phase %q opens out of order", phase)
+		}
+		last = idx
+	}
+	// Every Begin on the mac track must have a matching End: the join left
+	// no phase running off the edge of the trace.
+	begins := strings.Count(out, `"ph":"B","pid":1,"tid":2`)
+	ends := strings.Count(out, `"ph":"E","pid":1,"tid":2`)
+	if begins != ends {
+		t.Fatalf("mac track has %d Begins but %d Ends", begins, ends)
+	}
+}
+
+// TestJoinFailureClosesPhaseSpan verifies a failed join (no AP on the air)
+// still closes its open phase slice on the way out.
+func TestJoinFailureClosesPhaseSpan(t *testing.T) {
+	sched := sim.New()
+	med := medium.New(sched, phy.WiFi24Channel(6))
+	s := sta.New(sched, med, sta.Config{
+		SSID: "nobody-home", Passphrase: "x", Addr: staAddr,
+	})
+	rec := obs.NewRecorder()
+	s.TraceTo(rec)
+	var result *error
+	s.Dev.SetState(esp32.StateCPUActive)
+	s.Join(func(err error) { result = &err })
+	sched.RunUntil(sched.Now() + 10*sim.Second)
+	if result == nil || !errors.Is(*result, sta.ErrNoAP) {
+		t.Fatalf("join result = %v, want ErrNoAP", result)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	begins := strings.Count(out, `"ph":"B","pid":1,"tid":2`)
+	ends := strings.Count(out, `"ph":"E","pid":1,"tid":2`)
+	if begins == 0 {
+		t.Fatal("failed join recorded no phase slice at all")
+	}
+	if begins != ends {
+		t.Fatalf("failed join left a phase open: %d Begins, %d Ends", begins, ends)
 	}
 }

@@ -56,6 +56,7 @@ import (
 	"wile/internal/core"
 	"wile/internal/dot11"
 	"wile/internal/medium"
+	"wile/internal/obs"
 	"wile/internal/phy"
 	"wile/internal/sim"
 )
@@ -119,6 +120,20 @@ type (
 	// raw captures).
 	FragmentHeader = core.FragmentHeader
 )
+
+// Observability. Components expose an Observe(*Registry) method that
+// mirrors their counters into a shared registry; WriteJSON snapshots it.
+type (
+	// Registry is a shared metrics registry (counters, gauges, histograms).
+	Registry = obs.Registry
+	// MetricsCounter is one monotonically increasing registry counter.
+	MetricsCounter = obs.Counter
+)
+
+// NewRegistry builds an empty metrics registry. Pass it to each component's
+// Observe method; delivery and duplicate rates then come from one snapshot
+// instead of per-component ad-hoc counters.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // NewSensor builds a sleeping sensor attached to the medium.
 func NewSensor(sched *Scheduler, med *Medium, cfg SensorConfig) *Sensor {
