@@ -14,10 +14,12 @@ test:
 	$(GO) test ./...
 
 # Static analysis: go vet plus the project's own wile-vet suite (simclock,
-# unitsafety, invariantpanic, noretain, errdrop, obsguard).
+# unitsafety, invariantpanic, noretain, poolsafe, lockguard, errdrop,
+# obsguard). -unused-allows also fails the build on stale //wile:allow
+# directives, so suppressions cannot outlive the code they excused.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/wile-vet ./...
+	$(GO) run ./cmd/wile-vet -unused-allows ./...
 
 race:
 	$(GO) test -race ./...

@@ -6,20 +6,31 @@
 //	simclock        no wall-clock time or ambient randomness in sim code
 //	unitsafety      no bare numerals becoming unit-typed quantities
 //	invariantpanic  panics carry package prefixes, decode paths return errors
-//	noretain        encoders never alias caller-provided buffers
+//	noretain        encoders never alias caller-provided buffers (tracked
+//	                through locals and re-slices via the value-flow graph)
+//	poolsafe        pooled frames and freelist events are never used after
+//	                their Release/recycle call, nor released after escaping
+//	lockguard       fields annotated "guarded by mu" are only accessed with
+//	                the named mutex held
 //	errdrop         no silently dropped error returns
+//	obsguard        observability hooks are nil-guarded
 //
 // Usage:
 //
-//	wile-vet [-list] [-json] [packages]
+//	wile-vet [-list] [-json] [-explain] [-unused-allows] [packages]
 //
 // Packages default to ./... relative to the current directory. The exit
 // status is 1 when any diagnostic is reported, so "make lint" fails the
-// build. With -json, diagnostics are emitted as a JSON array (an empty
-// array when the tree is clean) with paths relative to the working
-// directory, so CI can turn them into per-line annotations. Individual
-// lines are exempted with a "//wile:allow <analyzer>" comment on the
-// offending line (or the line above); see DESIGN.md.
+// build. With -json, diagnostics are emitted as a deterministically sorted
+// JSON array (an empty array when the tree is clean) with paths relative
+// to the working directory, so CI can turn them into per-line annotations
+// and diff the set byte-for-byte. With -explain, each diagnostic is
+// followed by the value-flow or lock-state path that supports it. With
+// -unused-allows, every "//wile:allow" directive that suppressed nothing
+// is itself reported (as the unusedallow pseudo-analyzer), so stale
+// suppressions cannot linger. Individual lines are exempted with a
+// "//wile:allow <analyzer>" comment on the offending line (or the line
+// above); see DESIGN.md.
 package main
 
 import (
@@ -35,6 +46,8 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
 	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	explain := flag.Bool("explain", false, "print the flow path supporting each diagnostic")
+	unusedAllows := flag.Bool("unused-allows", false, "report //wile:allow directives that suppress nothing")
 	flag.Parse()
 	if *list {
 		for _, a := range analysis.Analyzers() {
@@ -51,7 +64,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wile-vet:", err)
 		os.Exit(2)
 	}
-	diags, err := vet(cwd, patterns)
+	diags, err := vetChecked(cwd, patterns, *unusedAllows)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wile-vet:", err)
 		os.Exit(2)
@@ -66,6 +79,11 @@ func main() {
 	} else {
 		for _, d := range diags {
 			fmt.Println(d)
+			if *explain {
+				for _, s := range d.Flow {
+					fmt.Printf("\t%s:%d:%d: %s\n", s.Pos.Filename, s.Pos.Line, s.Pos.Column, s.Desc)
+				}
+			}
 		}
 	}
 	if len(diags) > 0 {
@@ -73,13 +91,19 @@ func main() {
 	}
 }
 
-// jsonDiagnostic is the -json wire format, one object per finding.
+// jsonDiagnostic is the -json wire format, one object per finding. The
+// array is sorted by (file, line, column, analyzer, message), so output is
+// byte-identical across runs and CI can diff it against a pinned golden.
 type jsonDiagnostic struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	// EndLine/EndColumn delimit the exclusive end of the flagged source
+	// range; both are 0 when only the start position is known.
+	EndLine   int    `json:"endLine,omitempty"`
+	EndColumn int    `json:"endColumn,omitempty"`
+	Analyzer  string `json:"analyzer"`
+	Message   string `json:"message"`
 }
 
 // toJSON converts diagnostics for machine consumption, relativizing file
@@ -92,13 +116,18 @@ func toJSON(dir string, diags []analysis.Diagnostic) []jsonDiagnostic {
 		if rel, err := filepath.Rel(dir, file); err == nil {
 			file = rel
 		}
-		out = append(out, jsonDiagnostic{
+		jd := jsonDiagnostic{
 			File:     filepath.ToSlash(file),
 			Line:     d.Pos.Line,
 			Column:   d.Pos.Column,
 			Analyzer: d.Analyzer,
 			Message:  d.Message,
-		})
+		}
+		if d.End.IsValid() {
+			jd.EndLine = d.End.Line
+			jd.EndColumn = d.End.Column
+		}
+		out = append(out, jd)
 	}
 	return out
 }
@@ -106,6 +135,11 @@ func toJSON(dir string, diags []analysis.Diagnostic) []jsonDiagnostic {
 // vet loads the packages matched by patterns (resolved against dir) and
 // runs the full suite, returning the surviving diagnostics.
 func vet(dir string, patterns []string) ([]analysis.Diagnostic, error) {
+	return vetChecked(dir, patterns, false)
+}
+
+// vetChecked is vet with optional stale //wile:allow reporting.
+func vetChecked(dir string, patterns []string, unusedAllows bool) ([]analysis.Diagnostic, error) {
 	loader, err := analysis.NewLoader(dir)
 	if err != nil {
 		return nil, err
@@ -122,5 +156,5 @@ func vet(dir string, patterns []string) ([]analysis.Diagnostic, error) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	return analysis.Run(pkgs, analysis.Analyzers())
+	return analysis.RunChecked(pkgs, analysis.Analyzers(), unusedAllows)
 }

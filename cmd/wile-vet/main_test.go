@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -10,25 +13,83 @@ import (
 
 // TestKnownBadFixture runs the full multichecker against the known-bad
 // fixture package and asserts that every analyzer in the suite fires
-// exactly once — the integration contract for the wile-vet driver.
+// exactly as often as the fixture intends — the integration contract for
+// the wile-vet driver. noretain fires twice: once for a direct re-slice
+// return and once for aliasing through a local, exercising the flow graph.
 func TestKnownBadFixture(t *testing.T) {
 	diags, err := vet(".", []string{"../../internal/analysis/testdata/knownbad"})
 	if err != nil {
 		t.Fatalf("vet: %v", err)
 	}
 	counts := make(map[string]int)
+	total := 0
 	for _, d := range diags {
 		t.Logf("diagnostic: %s", d)
 		counts[d.Analyzer]++
+		total++
 	}
-	suite := analysis.Analyzers()
-	if len(diags) != len(suite) {
-		t.Errorf("got %d diagnostics, want %d (one per analyzer)", len(diags), len(suite))
-	}
-	for _, a := range suite {
-		if counts[a.Name] != 1 {
-			t.Errorf("analyzer %s fired %d times, want exactly 1", a.Name, counts[a.Name])
+	for _, a := range analysis.Analyzers() {
+		want := 1
+		if a.Name == "noretain" {
+			want = 2
 		}
+		if counts[a.Name] != want {
+			t.Errorf("analyzer %s fired %d times, want exactly %d", a.Name, counts[a.Name], want)
+		}
+	}
+	if want := len(analysis.Analyzers()) + 1; total != want {
+		t.Errorf("got %d diagnostics, want %d", total, want)
+	}
+}
+
+// TestKnownBadGolden pins the exact -json diagnostic set for the fixture.
+// CI replays the same comparison with the built binary (see ci.yml), so a
+// behavior change in any analyzer must update testdata/knownbad.json.
+func TestKnownBadGolden(t *testing.T) {
+	diags, err := vet(".", []string{"../../internal/analysis/testdata/knownbad"})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatalf("abs: %v", err)
+	}
+	got, err := json.MarshalIndent(toJSON(root, diags), "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got = append(got, '\n')
+	want, err := os.ReadFile("testdata/knownbad.json")
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("diagnostic set drifted from testdata/knownbad.json:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExplainFlow checks that flow-graph-backed diagnostics carry the
+// supporting path that -explain prints: the alias-through-local noretain
+// finding must reference the re-slice that established the aliasing.
+func TestExplainFlow(t *testing.T) {
+	diags, err := vet(".", []string{"../../internal/analysis/testdata/knownbad"})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Analyzer != "noretain" || len(d.Flow) == 0 {
+			continue
+		}
+		found = true
+		for _, s := range d.Flow {
+			if s.Pos.Line <= 0 || s.Desc == "" {
+				t.Errorf("flow step missing position or description: %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Error("no noretain diagnostic carries a flow path; -explain would print nothing")
 	}
 }
 

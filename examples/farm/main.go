@@ -89,9 +89,12 @@ func main() {
 	step()
 
 	sched.RunFor(hours * time.Hour)
+	var macTotals wile.MACFleetStats
 	for _, s := range fleet {
 		s.Stop()
+		macTotals.Add(s.Port.Stats)
 	}
+	macTotals.Add(phone.Port.Stats)
 
 	devices := phone.Devices()
 	sort.Slice(devices, func(i, j int) bool { return devices[i].DeviceID < devices[j].DeviceID })
@@ -110,6 +113,9 @@ func main() {
 	duplicates := reg.Counter("wile.rx_duplicates").Value()
 	fmt.Printf("\nair stats: %d transmissions, %d collisions (CSMA + jitter keep the channel clean)\n",
 		med.Stats.Transmissions, med.Stats.Collisions)
+	totals, ports := macTotals.Total()
+	fmt.Printf("MAC fleet (%d ports): %d frames on air, %d retries, %d drops, %d duplicates filtered\n",
+		ports, totals.TxFrames, totals.Retries, totals.Drops, totals.RxDuplicates)
 	fmt.Printf("collected %d of %d transmitted readings (%.1f%% delivery, %d duplicates); "+
 		"the gap is radio range, not contention\n",
 		collected, transmitted, 100*float64(collected)/float64(transmitted), duplicates)

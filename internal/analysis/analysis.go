@@ -47,18 +47,42 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	*p.diags = append(*p.diags, Diagnostic{
+	p.ReportRangef(pos, token.NoPos, nil, format, args...)
+}
+
+// ReportNodef records a diagnostic spanning n, so -json output carries the
+// full source range for CI annotations.
+func (p *Pass) ReportNodef(n ast.Node, format string, args ...any) {
+	p.ReportRangef(n.Pos(), n.End(), nil, format, args...)
+}
+
+// ReportRangef records a diagnostic spanning [pos, end) with an optional
+// supporting flow path (printed by wile-vet -explain). end may be
+// token.NoPos when no range is known.
+func (p *Pass) ReportRangef(pos, end token.Pos, flow []FlowStep, format string, args ...any) {
+	d := Diagnostic{
 		Pos:      p.Pkg.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
-	})
+		Flow:     flow,
+	}
+	if end.IsValid() {
+		d.End = p.Pkg.Fset.Position(end)
+	}
+	*p.diags = append(*p.diags, d)
 }
 
 // Diagnostic is one finding.
 type Diagnostic struct {
-	Pos      token.Position
+	Pos token.Position
+	// End is the exclusive end of the flagged source range; a zero End
+	// means only the start position is known.
+	End      token.Position
 	Analyzer string
 	Message  string
+	// Flow is the value-flow or lock-state path supporting the finding,
+	// rendered by wile-vet -explain. Empty for syntactic findings.
+	Flow []FlowStep
 }
 
 // String formats the diagnostic the way go vet does, with the analyzer name
@@ -69,14 +93,27 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full wile-vet suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimClock, UnitSafety, InvariantPanic, NoRetain, ErrDrop, ObsGuard}
+	return []*Analyzer{SimClock, UnitSafety, InvariantPanic, NoRetain, PoolSafe, LockGuard, ErrDrop, ObsGuard}
 }
+
+// UnusedAllowName is the pseudo-analyzer name under which stale
+// suppression directives are reported by RunChecked.
+const UnusedAllowName = "unusedallow"
 
 // Run applies each analyzer to each package and returns the surviving
 // diagnostics sorted by position. Findings on lines carrying a matching
 // "//wile:allow <analyzer>" directive (on the same line or the line above)
 // are suppressed.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunChecked(pkgs, analyzers, false)
+}
+
+// RunChecked is Run with optional stale-directive detection: when
+// reportUnused is set, every "//wile:allow <analyzer>" directive that
+// suppressed nothing in this run is itself reported as a diagnostic under
+// the "unusedallow" pseudo-analyzer, so obsolete suppressions cannot
+// linger after the code they excused is fixed.
+func RunChecked(pkgs []*Package, analyzers []*Analyzer, reportUnused bool) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -86,7 +123,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
-	diags = filterAllowed(pkgs, diags)
+	var unused []Diagnostic
+	diags, unused = filterAllowed(pkgs, diags)
+	if reportUnused {
+		diags = append(diags, unused...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders findings by (file, line, column, analyzer,
+// message) — a total order, so -json output is byte-identical across runs
+// and machines.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -98,9 +147,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
 }
 
 // AllowDirective is the comment prefix that suppresses a finding, e.g.
@@ -111,39 +162,86 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // commas or spaces; anything after " -- " is a human-readable reason.
 const AllowDirective = "//wile:allow"
 
-func filterAllowed(pkgs []*Package, diags []Diagnostic) []Diagnostic {
-	// allowed["file:line"] -> set of analyzer names suppressed there.
-	allowed := make(map[string]map[string]bool)
+// allowEntry is one analyzer name listed by one //wile:allow directive,
+// with a usage mark so stale directives can be reported.
+type allowEntry struct {
+	pos  token.Position
+	used bool
+}
+
+// filterAllowed drops diagnostics excused by //wile:allow directives and
+// returns, alongside the survivors, one "unusedallow" diagnostic for every
+// directive name that excused nothing.
+func filterAllowed(pkgs []*Package, diags []Diagnostic) (kept, unused []Diagnostic) {
+	// allowed["file:line"] -> analyzer name -> directive entry.
+	allowed := make(map[string]map[string]*allowEntry)
+	var order []*allowEntry // declaration order, for deterministic reporting
+	names := make(map[*allowEntry]string)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Syntax {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					names, ok := parseAllow(c.Text)
+					dirNames, ok := parseAllow(c.Text)
 					if !ok {
 						continue
 					}
 					pos := pkg.Fset.Position(c.Pos())
 					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 					if allowed[key] == nil {
-						allowed[key] = make(map[string]bool)
+						allowed[key] = make(map[string]*allowEntry)
 					}
-					for _, n := range names {
-						allowed[key][n] = true
+					for _, n := range dirNames {
+						if allowed[key][n] != nil {
+							continue
+						}
+						e := &allowEntry{pos: pos}
+						allowed[key][n] = e
+						order = append(order, e)
+						names[e] = n
 					}
 				}
 			}
 		}
 	}
-	kept := diags[:0]
+	use := func(m map[string]*allowEntry, analyzer string) bool {
+		hit := false
+		if e := m[analyzer]; e != nil {
+			e.used, hit = true, true
+		}
+		if e := m["all"]; e != nil {
+			e.used, hit = true, true
+		}
+		return hit
+	}
+	kept = diags[:0]
 	for _, d := range diags {
 		same := allowed[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)]
 		above := allowed[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line-1)]
-		if same[d.Analyzer] || same["all"] || above[d.Analyzer] || above["all"] {
+		// Consult both sites so a directive is marked used wherever it
+		// matches, then keep the diagnostic only if neither excused it.
+		hit := use(same, d.Analyzer)
+		hit = use(above, d.Analyzer) || hit
+		if hit {
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, e := range order {
+		if e.used {
+			continue
+		}
+		name := names[e]
+		msg := fmt.Sprintf("//wile:allow %s suppresses nothing; delete the stale directive", name)
+		if name != "all" && !known[name] {
+			msg = fmt.Sprintf("//wile:allow %s names no analyzer in the suite; delete or fix the directive", name)
+		}
+		unused = append(unused, Diagnostic{Pos: e.pos, Analyzer: UnusedAllowName, Message: msg})
+	}
+	return kept, unused
 }
 
 func parseAllow(comment string) (names []string, ok bool) {

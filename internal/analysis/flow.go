@@ -1,0 +1,556 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the suite's intra-procedural dataflow layer: a per-function
+// value-flow graph over types.Objects that analyzers query for may-alias
+// facts ("does b share backing storage with the parameter buf?") and that
+// flow-sensitive analyzers (poolsafe, lockguard) build their
+// abstract-interpretation walks on. The graph is deliberately modest — one
+// function at a time, objects and the expressions that connect them, no
+// heap model — because that is exactly the scope at which the repository's
+// invariants live: an encoder aliasing its argument, a frame used after its
+// Release, a guarded field touched between Unlock and Lock.
+//
+// Edges record the syntax that created them, so every diagnostic built on
+// the graph can print the supporting flow path (wile-vet -explain).
+
+// FlowEdge is one value-flow fact: To's value may share storage with (or
+// was derived from) From's, established by the syntax at Pos.
+type FlowEdge struct {
+	From, To types.Object
+	Pos      token.Pos
+	// Kind names the syntax that created the edge: "assign", "reslice",
+	// "append", "range", "addr", "assert", "convert".
+	Kind string
+}
+
+// FlowStep is one hop of a diagnostic's supporting path, rendered by
+// wile-vet -explain.
+type FlowStep struct {
+	Pos  token.Position
+	Desc string
+}
+
+// FlowGraph is the value-flow graph of one function body. Edges are
+// undirected for alias queries (if b was sliced from buf, writing through
+// either mutates the other) but each edge remembers its direction and
+// origin for explanations.
+type FlowGraph struct {
+	info *types.Info
+	// edges indexes every edge by both endpoints.
+	edges map[types.Object][]FlowEdge
+	// fresh records objects that were (on some path) assigned a freshly
+	// allocated value — a composite literal, &T{}, new(T), or make —
+	// keyed to the position of the allocation.
+	fresh map[types.Object]token.Pos
+}
+
+// BuildFlow constructs the value-flow graph for one function body.
+func BuildFlow(info *types.Info, body *ast.BlockStmt) *FlowGraph {
+	g := &FlowGraph{
+		info:  info,
+		edges: make(map[types.Object][]FlowEdge),
+		fresh: make(map[types.Object]token.Pos),
+	}
+	if body == nil {
+		return g
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			g.addAssign(n)
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					g.addFlow(name, n.Values[i])
+				}
+			}
+		case *ast.RangeStmt:
+			// for _, v := range xs: v may alias an element of xs' backing
+			// array when the element type is itself a reference.
+			if v, ok := n.Value.(*ast.Ident); ok && isRefType(g.info.TypeOf(v)) {
+				for _, root := range g.roots(n.X, nil) {
+					g.addEdge(FlowEdge{From: root.obj, To: g.objOf(v), Pos: n.Pos(), Kind: "range"})
+				}
+			}
+		}
+		return true
+	})
+	return g
+}
+
+// addAssign records the value flow of one assignment statement.
+func (g *FlowGraph) addAssign(n *ast.AssignStmt) {
+	if len(n.Lhs) == len(n.Rhs) {
+		for i, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				g.addFlow(id, n.Rhs[i])
+			}
+		}
+		return
+	}
+	// Multi-value forms: x, ok := y.(T) and x, y := f(). Only the type
+	// assertion propagates aliasing; call results are fresh as far as this
+	// intra-procedural graph can see (Append* passthrough is handled by
+	// roots on the single-value side).
+	if len(n.Rhs) == 1 {
+		if ta, ok := n.Rhs[0].(*ast.TypeAssertExpr); ok && len(n.Lhs) >= 1 {
+			if id, ok := n.Lhs[0].(*ast.Ident); ok {
+				for _, root := range g.roots(ta.X, nil) {
+					g.addEdge(FlowEdge{From: root.obj, To: g.objOf(id), Pos: n.Pos(), Kind: "assert"})
+				}
+			}
+		}
+	}
+}
+
+// addFlow connects lhs to the alias roots of rhs.
+func (g *FlowGraph) addFlow(lhs *ast.Ident, rhs ast.Expr) {
+	obj := g.objOf(lhs)
+	if obj == nil {
+		return
+	}
+	if isFreshExpr(g.info, rhs) {
+		g.fresh[obj] = rhs.Pos()
+		return
+	}
+	for _, root := range g.roots(rhs, nil) {
+		if root.obj == obj {
+			continue // x = x[1:] narrows but introduces no new aliasing
+		}
+		g.addEdge(FlowEdge{From: root.obj, To: obj, Pos: rhs.Pos(), Kind: root.kind})
+	}
+}
+
+func (g *FlowGraph) addEdge(e FlowEdge) {
+	if e.From == nil || e.To == nil {
+		return
+	}
+	g.edges[e.From] = append(g.edges[e.From], e)
+	g.edges[e.To] = append(g.edges[e.To], e)
+}
+
+func (g *FlowGraph) objOf(id *ast.Ident) types.Object {
+	if obj := g.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return g.info.Uses[id]
+}
+
+// flowRoot is one object an expression's value may alias, with the syntax
+// kind of the outermost derivation.
+type flowRoot struct {
+	obj  types.Object
+	kind string
+}
+
+// roots unwraps e to the objects whose storage its value may share:
+// through parentheses, slice expressions, dereferences, address-of, type
+// assertions, conversions, and append-style calls (builtin append and
+// Append*-named functions alias their first slice argument by contract).
+func (g *FlowGraph) roots(e ast.Expr, kindHint *string) []flowRoot {
+	kind := "assign"
+	if kindHint != nil {
+		kind = *kindHint
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := g.objOf(x); obj != nil && obj.Pkg() != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				return []flowRoot{{obj: obj, kind: kind}}
+			}
+		}
+		return nil
+	case *ast.ParenExpr:
+		return g.roots(x.X, &kind)
+	case *ast.SliceExpr:
+		k := "reslice"
+		return g.roots(x.X, &k)
+	case *ast.IndexExpr:
+		// xs[i] aliases xs' backing only when the element is a reference.
+		if isRefType(g.info.TypeOf(e)) {
+			k := "index"
+			return g.roots(x.X, &k)
+		}
+		return nil
+	case *ast.StarExpr:
+		k := "deref"
+		return g.roots(x.X, &k)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			k := "addr"
+			return g.roots(x.X, &k)
+		}
+		return nil
+	case *ast.TypeAssertExpr:
+		k := "assert"
+		return g.roots(x.X, &k)
+	case *ast.CallExpr:
+		return g.callRoots(x)
+	}
+	return nil
+}
+
+// callRoots handles the calls whose results alias an argument: the builtin
+// append, conversions, and Append*-named functions (their contract is to
+// return the first []byte argument, extended).
+func (g *FlowGraph) callRoots(call *ast.CallExpr) []flowRoot {
+	// Conversion: []byte(x), T(x).
+	if tv, ok := g.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		// Converting string<->[]byte copies; same-kind conversions alias.
+		from, to := g.info.TypeOf(call.Args[0]), tv.Type
+		if from != nil && isRefType(to) && isRefType(from) {
+			k := "convert"
+			return g.roots(call.Args[0], &k)
+		}
+		return nil
+	}
+	name := ""
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	if name == "append" || strings.HasPrefix(name, "Append") || strings.HasPrefix(name, "append") {
+		if len(call.Args) > 0 {
+			// The first slice-typed argument is the destination being
+			// extended; the result may alias it.
+			for _, arg := range call.Args {
+				if _, ok := g.info.TypeOf(arg).Underlying().(*types.Slice); ok {
+					k := "append"
+					return g.roots(arg, &k)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AliasPath reports whether from may alias to, and if so the chain of flow
+// edges connecting them (empty for from == to). The search is a BFS over
+// the undirected edge set, so the returned path is a shortest explanation.
+func (g *FlowGraph) AliasPath(from, to types.Object) ([]FlowEdge, bool) {
+	if from == nil || to == nil {
+		return nil, false
+	}
+	if from == to {
+		return nil, true
+	}
+	type visit struct {
+		obj  types.Object
+		path []FlowEdge
+	}
+	seen := map[types.Object]bool{from: true}
+	queue := []visit{{obj: from}}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.edges[v.obj] {
+			next := e.From
+			if next == v.obj {
+				next = e.To
+			}
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			path := append(append([]FlowEdge(nil), v.path...), e)
+			if next == to {
+				return path, true
+			}
+			queue = append(queue, visit{obj: next, path: path})
+		}
+	}
+	return nil, false
+}
+
+// AliasSet returns every object from may alias (excluding itself), in
+// deterministic order.
+func (g *FlowGraph) AliasSet(from types.Object) []types.Object {
+	if from == nil {
+		return nil
+	}
+	seen := map[types.Object]bool{from: true}
+	queue := []types.Object{from}
+	var out []types.Object
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		for _, e := range g.edges[obj] {
+			next := e.From
+			if next == obj {
+				next = e.To
+			}
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			out = append(out, next)
+			queue = append(queue, next)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// FreshAt reports whether obj was assigned a freshly allocated value in
+// this function (composite literal, &T{}, new, make), and where.
+func (g *FlowGraph) FreshAt(obj types.Object) (token.Pos, bool) {
+	pos, ok := g.fresh[obj]
+	return pos, ok
+}
+
+// StepsFor renders an edge path as explanation steps, one per edge.
+func StepsFor(fset *token.FileSet, path []FlowEdge) []FlowStep {
+	steps := make([]FlowStep, 0, len(path))
+	for _, e := range path {
+		var desc string
+		switch e.Kind {
+		case "reslice":
+			desc = fmt.Sprintf("%s re-slices %s", e.To.Name(), e.From.Name())
+		case "append":
+			desc = fmt.Sprintf("%s extends %s via append", e.To.Name(), e.From.Name())
+		case "range":
+			desc = fmt.Sprintf("%s ranges over %s's elements", e.To.Name(), e.From.Name())
+		case "addr":
+			desc = fmt.Sprintf("%s takes the address of %s", e.To.Name(), e.From.Name())
+		case "assert":
+			desc = fmt.Sprintf("%s asserts the type of %s", e.To.Name(), e.From.Name())
+		case "convert":
+			desc = fmt.Sprintf("%s converts %s", e.To.Name(), e.From.Name())
+		default:
+			desc = fmt.Sprintf("%s is assigned from %s", e.To.Name(), e.From.Name())
+		}
+		steps = append(steps, FlowStep{Pos: fset.Position(e.Pos), Desc: desc})
+	}
+	return steps
+}
+
+// isFreshExpr reports whether e allocates new storage: a composite
+// literal, its address, new(T), or make(...).
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, lit := x.X.(*ast.CompositeLit)
+			return lit
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && info.Uses[id] != nil {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new" || b.Name() == "make"
+			}
+		}
+	}
+	return false
+}
+
+// --- structured control-flow walker ---
+
+// cfgClient parameterizes cfgWalk: S is the abstract state (a released-set
+// for poolsafe, a held-lock set for lockguard). Implementations own the
+// lattice; the walker owns the control structure.
+type cfgClient[S any] interface {
+	// copyState returns an independent copy of st for a branch.
+	copyState(st S) S
+	// join merges the states of two control-flow paths meeting at a join
+	// point. May-analyses union, must-analyses intersect.
+	join(a, b S) S
+	// stmt applies one non-control statement (assignments, calls, defers,
+	// go statements, returns) to the state, reporting diagnostics as a
+	// side effect. It must not descend into nested control statements —
+	// the walker drives those — but does see the statement's expressions.
+	stmt(s ast.Stmt, st S) S
+	// expr evaluates a control-position expression (an if condition, a
+	// switch tag, a range operand) against the state.
+	expr(e ast.Expr, st S) S
+}
+
+// cfgWalk drives a forward, flow-sensitive walk of a function body over
+// Go's structured control flow: sequencing, if/else with join, loops
+// (bodies analyzed to a two-pass fixpoint, zero iterations always
+// possible), switch/type-switch/select with per-case branching, and path
+// termination at return. break, continue, and goto conservatively
+// terminate their path — a linter prefers a missed corner to a false
+// positive. The second result reports whether the exit is reachable.
+func cfgWalk[S any](body *ast.BlockStmt, entry S, c cfgClient[S]) (S, bool) {
+	if body == nil {
+		return entry, true
+	}
+	st, ok := entry, true
+	for _, s := range body.List {
+		if !ok {
+			break
+		}
+		st, ok = cfgStmt(s, st, c)
+	}
+	return st, ok
+}
+
+func cfgStmt[S any](s ast.Stmt, st S, c cfgClient[S]) (S, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return cfgWalk(s, st, c)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = c.stmt(s.Init, st)
+		}
+		st = c.expr(s.Cond, st)
+		thenSt, thenOK := cfgWalk(s.Body, c.copyState(st), c)
+		elseSt, elseOK := st, true
+		if s.Else != nil {
+			elseSt, elseOK = cfgStmt(s.Else, c.copyState(st), c)
+		}
+		return cfgJoin(thenSt, thenOK, elseSt, elseOK, c)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			st = c.expr(s.Cond, st)
+		}
+		loop := func(in S) (S, bool) {
+			out, ok := cfgWalk(s.Body, in, c)
+			if ok && s.Post != nil {
+				out = c.stmt(s.Post, out)
+			}
+			if ok && s.Cond != nil {
+				out = c.expr(s.Cond, out)
+			}
+			return out, ok
+		}
+		return cfgLoop(st, s.Cond == nil, loop, c)
+	case *ast.RangeStmt:
+		st = c.expr(s.X, st)
+		st = c.stmt(s, st) // client handles key/value (re)binding
+		return cfgLoop(st, false, func(in S) (S, bool) { return cfgWalk(s.Body, in, c) }, c)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = c.expr(s.Tag, st)
+		}
+		return cfgCases(s.Body, st, c, nil)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = c.stmt(s.Init, st)
+		}
+		return cfgCases(s.Body, st, c, s.Assign)
+	case *ast.SelectStmt:
+		return cfgCases(s.Body, st, c, nil)
+	case *ast.LabeledStmt:
+		return cfgStmt(s.Stmt, st, c)
+	case *ast.ReturnStmt:
+		st = c.stmt(s, st)
+		return st, false
+	case *ast.BranchStmt:
+		return st, false // break/continue/goto: path leaves this walk
+	default:
+		return c.stmt(s, st), true
+	}
+}
+
+// cfgLoop analyzes a loop body that runs zero or more times: the body is
+// walked twice (entry state, then entry joined with the first body exit)
+// so facts that survive one iteration stabilize, and the loop exit joins
+// the zero-iteration path unless the loop has no exit condition.
+func cfgLoop[S any](entry S, unconditional bool, body func(S) (S, bool), c cfgClient[S]) (S, bool) {
+	b1, ok1 := body(c.copyState(entry))
+	in2 := entry
+	if ok1 {
+		in2 = c.join(c.copyState(entry), b1)
+	}
+	b2, ok2 := body(c.copyState(in2))
+	if unconditional {
+		// for {}: the only way out is break/return inside the body, which
+		// terminate their paths; the statement's exit is unreachable.
+		return b2, false
+	}
+	return cfgJoin(entry, true, b2, ok2, c)
+}
+
+// cfgCases branches each case clause from the entry state and joins the
+// reachable exits; with no default clause the entry state joins too (no
+// case may match). assign, when non-nil, is a type-switch assign statement
+// replayed at each case entry so the client sees the per-case binding.
+func cfgCases[S any](body *ast.BlockStmt, entry S, c cfgClient[S], assign ast.Stmt) (S, bool) {
+	var out S
+	outOK := false
+	hasDefault := false
+	for _, cl := range body.List {
+		caseSt := c.copyState(entry)
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				caseSt = c.expr(e, caseSt)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				caseSt = c.stmt(cl.Comm, caseSt)
+			}
+			stmts = cl.Body
+		}
+		if assign != nil {
+			caseSt = c.stmt(assign, caseSt)
+		}
+		caseOK := true
+		for _, s := range stmts {
+			if !caseOK {
+				break
+			}
+			caseSt, caseOK = cfgStmt(s, caseSt, c)
+		}
+		out, outOK = cfgJoin(out, outOK, caseSt, caseOK, c)
+	}
+	if !hasDefault {
+		out, outOK = cfgJoin(out, outOK, entry, true, c)
+	}
+	return out, outOK
+}
+
+// cfgJoin merges two path states honoring reachability.
+func cfgJoin[S any](a S, aOK bool, b S, bOK bool, c cfgClient[S]) (S, bool) {
+	switch {
+	case aOK && bOK:
+		return c.join(a, b), true
+	case aOK:
+		return a, true
+	case bOK:
+		return b, true
+	default:
+		return a, false
+	}
+}
+
+// isRefType reports whether values of t share backing storage when copied:
+// slices, pointers, maps, channels, and interfaces (which may wrap any of
+// those).
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -14,13 +15,18 @@ import (
 // whose name marks them as encoders (Append*, Marshal*, Encode*, Seal*,
 // Encap*, Build*):
 //
-//   - returning a []byte parameter, or a slice of one, is flagged — copy
-//     into a fresh buffer instead. Append-style functions are exempt for
-//     their first []byte parameter (the destination being appended to:
-//     aliasing dst is the documented contract);
-//   - assigning a []byte parameter (or a slice of one) to a struct field
-//     is flagged — the encoder must not retain the buffer past the call.
+//   - returning a []byte parameter, or any local that may alias one, is
+//     flagged — copy into a fresh buffer instead. Aliasing is tracked
+//     through the function's value-flow graph (BuildFlow), so
+//     "b := buf[4:]; return b" flags exactly like "return buf[4:]".
+//     Append-style functions are exempt for their first []byte parameter
+//     (the destination being appended to: aliasing dst is the documented
+//     contract);
+//   - assigning a []byte parameter (or anything aliasing one) to a struct
+//     field is flagged — the encoder must not retain the buffer past the
+//     call.
 //
+// Diagnostics carry the supporting flow path; wile-vet -explain prints it.
 // Decoders are intentionally out of scope: dot11 documents that decoded
 // slices alias the input.
 var NoRetain = &Analyzer{
@@ -60,14 +66,20 @@ func runNoRetain(pass *Pass) error {
 			if strings.HasPrefix(strings.ToLower(fd.Name.Name), "append") {
 				dst = firstByteParam(info, fd)
 			}
+			g := BuildFlow(info, fd.Body)
+			check := func(e ast.Expr, format string) {
+				obj, path := aliasedParamFlow(g, info, byteParams, dst, e)
+				if obj == nil {
+					return
+				}
+				pass.ReportRangef(e.Pos(), e.End(), StepsFor(pass.Pkg.Fset, path),
+					format, funcName(fd), obj.Name())
+			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.ReturnStmt:
 					for _, res := range n.Results {
-						obj := aliasedParam(info, byteParams, res)
-						if obj != nil && obj != dst {
-							pass.Reportf(res.Pos(), "%s returns a slice aliasing its caller-provided buffer %s; copy the bytes before returning", funcName(fd), obj.Name())
-						}
+						check(res, "%s returns a slice aliasing its caller-provided buffer %s; copy the bytes before returning")
 					}
 				case *ast.AssignStmt:
 					for i, lhs := range n.Lhs {
@@ -77,10 +89,7 @@ func runNoRetain(pass *Pass) error {
 						if _, isField := lhs.(*ast.SelectorExpr); !isField {
 							continue
 						}
-						obj := aliasedParam(info, byteParams, n.Rhs[i])
-						if obj != nil {
-							pass.Reportf(n.Rhs[i].Pos(), "%s retains its caller-provided buffer %s in a field; copy the bytes instead", funcName(fd), obj.Name())
-						}
+						check(n.Rhs[i], "%s retains its caller-provided buffer %s in a field; copy the bytes instead")
 					}
 				}
 				return true
@@ -88,6 +97,41 @@ func runNoRetain(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// aliasedParamFlow reports the first []byte parameter (other than the
+// exempt dst) that e's value may alias, together with the flow-graph path
+// establishing the aliasing (empty when e names the parameter directly).
+func aliasedParamFlow(g *FlowGraph, info *types.Info, params map[types.Object]bool, dst types.Object, e ast.Expr) (types.Object, []FlowEdge) {
+	// Only expressions that could carry the buffer out matter; a byte read
+	// or a length does not alias.
+	if !isRefType(info.TypeOf(e)) {
+		return nil, nil
+	}
+	for _, root := range g.roots(e, nil) {
+		if params[root.obj] {
+			if root.obj != dst {
+				return root.obj, nil
+			}
+			continue
+		}
+		// The root is a local: ask the flow graph whether it may alias a
+		// parameter. Parameters are visited in declaration order so the
+		// reported object is deterministic.
+		var hits []types.Object
+		for p := range params {
+			if p != dst {
+				hits = append(hits, p)
+			}
+		}
+		sort.Slice(hits, func(i, j int) bool { return hits[i].Pos() < hits[j].Pos() })
+		for _, p := range hits {
+			if path, ok := g.AliasPath(root.obj, p); ok {
+				return p, path
+			}
+		}
+	}
+	return nil, nil
 }
 
 // byteSliceParams collects the objects of fd's []byte parameters.
@@ -129,25 +173,4 @@ func isByteSlice(t types.Type) bool {
 	}
 	b, ok := s.Elem().Underlying().(*types.Basic)
 	return ok && b.Kind() == types.Byte
-}
-
-// aliasedParam unwraps slicing/parenthesization and reports the parameter
-// object e aliases, or nil.
-func aliasedParam(info *types.Info, params map[types.Object]bool, e ast.Expr) types.Object {
-	for {
-		switch x := e.(type) {
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.SliceExpr:
-			e = x.X
-		case *ast.Ident:
-			obj := info.Uses[x]
-			if obj != nil && params[obj] {
-				return obj
-			}
-			return nil
-		default:
-			return nil
-		}
-	}
 }

@@ -31,6 +31,60 @@ func TestNoRetain(t *testing.T) {
 	analysistest.Run(t, "testdata/noretain", fixtureRoot+"noretain", analysis.NoRetain)
 }
 
+func TestPoolSafe(t *testing.T) {
+	analysistest.Run(t, "testdata/poolsafe", fixtureRoot+"poolsafe", analysis.PoolSafe)
+}
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, "testdata/lockguard", fixtureRoot+"lockguard", analysis.LockGuard)
+}
+
+// TestUnusedAllow checks the stale-directive pass: RunChecked must report
+// every //wile:allow that suppressed nothing, and only those.
+func TestUnusedAllow(t *testing.T) {
+	loader, err := analysis.NewLoader("testdata/unusedallow")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDirAs("testdata/unusedallow", fixtureRoot+"unusedallow")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := analysis.RunChecked([]*analysis.Package{pkg}, analysis.Analyzers(), true)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	var stale []string
+	for _, d := range diags {
+		if d.Analyzer != analysis.UnusedAllowName {
+			continue // the live violation kept alongside the used directive
+		}
+		stale = append(stale, d.Message)
+	}
+	want := []string{
+		"//wile:allow errdrop suppresses nothing; delete the stale directive",
+		"//wile:allow nosuchcheck names no analyzer in the suite; delete or fix the directive",
+	}
+	if len(stale) != len(want) {
+		t.Fatalf("got %d unusedallow diagnostics %q, want %d", len(stale), stale, len(want))
+	}
+	for i, w := range want {
+		if stale[i] != w {
+			t.Errorf("unusedallow[%d] = %q, want %q", i, stale[i], w)
+		}
+	}
+	// The same run without the check must stay silent about directives.
+	plain, err := analysis.RunChecked([]*analysis.Package{pkg}, analysis.Analyzers(), false)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range plain {
+		if d.Analyzer == analysis.UnusedAllowName {
+			t.Errorf("unusedallow reported without -unused-allows: %s", d)
+		}
+	}
+}
+
 func TestObsGuard(t *testing.T) {
 	analysistest.Run(t, "testdata/obsguard", fixtureRoot+"obsguard", analysis.ObsGuard)
 }

@@ -1,5 +1,7 @@
-// Package knownbad is the integration fixture for cmd/wile-vet: each of
-// the six analyzers in the suite fires exactly once in this package.
+// Package knownbad is the integration fixture for cmd/wile-vet: every
+// analyzer in the suite fires in this package (noretain twice — once
+// directly and once through a local alias), and the exact diagnostic set
+// is pinned by cmd/wile-vet/testdata/knownbad.json.
 package knownbad
 
 import (
@@ -30,6 +32,11 @@ func EncodeBody(b []byte) []byte {
 	return b[:1] // noretain: aliases the caller's buffer
 }
 
+func EncodeTail(buf []byte) []byte {
+	tail := buf[4:]
+	return tail // noretain: aliases the caller's buffer through a local
+}
+
 func emit() error { return nil }
 
 func run() {
@@ -46,4 +53,7 @@ func (t *traced) tick() {
 }
 
 // use keeps the fixture's helpers referenced.
-var use = []any{wallClock, deadline, ParseByte, EncodeBody, run, (*traced).tick}
+var use = []any{
+	wallClock, deadline, ParseByte, EncodeBody, EncodeTail, run,
+	(*traced).tick, useAfterRelease, (*guardedStats).add, (*guardedStats).snapshot,
+}

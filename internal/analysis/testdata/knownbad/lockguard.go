@@ -1,0 +1,18 @@
+package knownbad
+
+import "sync"
+
+type guardedStats struct {
+	mu     sync.Mutex
+	frames int // guarded by mu
+}
+
+func (s *guardedStats) add(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frames += n
+}
+
+func (s *guardedStats) snapshot() int {
+	return s.frames // lockguard: read without s.mu held
+}

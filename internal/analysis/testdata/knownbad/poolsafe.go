@@ -1,0 +1,13 @@
+package knownbad
+
+// pooledFrame stands in for a dot11 frame drawn from a sync.Pool.
+type pooledFrame struct {
+	payload []byte
+}
+
+func (f *pooledFrame) Release() {}
+
+func useAfterRelease(f *pooledFrame) int {
+	f.Release()
+	return len(f.payload) // poolsafe: use after release
+}

@@ -1,0 +1,107 @@
+// Package lockguard is the fixture for the lockguard analyzer.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++ // ok: c.mu held
+	c.mu.Unlock()
+}
+
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // ok: deferred unlock keeps the lock to function exit
+}
+
+func (c *counter) unlocked() int {
+	return c.n // want `c.n is guarded by c.mu`
+}
+
+func (c *counter) afterUnlock() int {
+	c.mu.Lock()
+	c.n = 2 // ok
+	c.mu.Unlock()
+	return c.n // want `c.n is guarded by c.mu`
+}
+
+// branchy only locks on one path; a must-analysis drops the lock at the
+// join, so the access is flagged.
+func (c *counter) branchy(lock bool) int {
+	if lock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.n // want `c.n is guarded by c.mu`
+}
+
+// wrongBase holds a's lock but touches b's field.
+func wrongBase(a, b *counter) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.n // want `b.n is guarded by b.mu`
+}
+
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k] // ok: read lock held
+}
+
+func (t *table) put(k string, v int) {
+	t.mu.Lock()
+	t.m[k] = v // ok
+	t.mu.Unlock()
+}
+
+// fresh constructs the object locally: nothing else can reach it yet, so
+// the flow graph's freshness fact exempts the unlocked initialization.
+func fresh() *counter {
+	c := &counter{}
+	c.n = 1 // ok: freshly constructed, not yet shared
+	return c
+}
+
+// lockedAdd documents that its caller holds the lock.
+//
+//wile:holds c.mu
+func lockedAdd(c *counter, n int) {
+	c.n += n // ok: the directive asserts c.mu is held on entry
+}
+
+// asyncRead returns a closure; the lock held at creation time proves
+// nothing about the time the closure runs.
+func (c *counter) asyncRead() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want `c.n is guarded by c.mu`
+	}
+}
+
+type mislabeled struct {
+	lock int
+	v    int /* guarded by lock */ // want `names "lock", which is not a sync.Mutex/RWMutex field`
+}
+
+func (c *counter) suppressed() int {
+	return c.n //wile:allow lockguard -- fixture: directive suppression
+}
+
+var use = []any{
+	(*counter).inc, (*counter).deferred, (*counter).unlocked,
+	(*counter).afterUnlock, (*counter).branchy, wrongBase,
+	(*table).get, (*table).put, fresh, lockedAdd, (*counter).asyncRead,
+	(*counter).suppressed, mislabeled{},
+}

@@ -45,3 +45,44 @@ func DecodePayload(b []byte) []byte {
 func SealFrame(key, plaintext []byte) []byte {
 	return plaintext //wile:allow noretain -- fixture: directive suppression
 }
+
+// EncodeTail re-slices through a local: the flow graph must connect
+// b -> buf and flag the return exactly like "return buf[4:]".
+func EncodeTail(buf []byte) []byte {
+	b := buf[4:]
+	return b // want `returns a slice aliasing its caller-provided buffer buf`
+}
+
+// MarshalHop aliases through two locals and a conditional re-slice.
+func MarshalHop(src []byte, short bool) []byte {
+	head := src[:8]
+	out := head
+	if short {
+		out = out[:4]
+	}
+	return out // want `returns a slice aliasing its caller-provided buffer src`
+}
+
+// EncodeStash retains an alias of the input in a field via a local.
+func (f *framer) EncodeStash(payload []byte) []byte {
+	tmp := payload[2:]
+	f.scratch = tmp // want `retains its caller-provided buffer payload`
+	return nil
+}
+
+// EncodeRebound rebinds the local to a fresh copy before returning it.
+// The alias graph is flow-insensitive, so the stale tmp~in edge survives
+// the rebinding and the return is conservatively flagged; the directive
+// documents the accepted false positive.
+func EncodeRebound(in []byte) []byte {
+	tmp := in[:2]
+	tmp = append([]byte(nil), tmp...)
+	return tmp //wile:allow noretain -- rebinding is conservatively flagged
+}
+
+// AppendFrame threads dst through locals; dst aliasing stays exempt.
+func AppendFrame(dst []byte, v byte) []byte {
+	out := dst
+	out = append(out, v)
+	return out // ok: aliases only the designated destination
+}

@@ -1,0 +1,117 @@
+// Package poolsafe is the fixture for the poolsafe analyzer.
+package poolsafe
+
+import "sync"
+
+type frame struct {
+	payload []byte
+	seq     uint64
+}
+
+func (f *frame) Release() {}
+
+type kernel struct {
+	free []*event
+}
+
+type event struct {
+	seq uint64
+	fn  func()
+}
+
+func (k *kernel) get() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+func sink(any) {}
+
+func useAfterRelease(f *frame) int {
+	f.Release()
+	return len(f.payload) // want `use of f after its release`
+}
+
+func useAfterReleaseAliased(f *frame) {
+	g := f
+	f.Release()
+	sink(g.seq) // want `use of g after its release`
+}
+
+// branchy releases on one path only; a use after the join is still a bug on
+// that path, so the may-analysis flags it.
+func branchy(f *frame, done bool) {
+	if done {
+		f.Release()
+	}
+	sink(f.seq) // want `use of f after its release`
+}
+
+func useAfterFreelist(k *kernel, e *event) {
+	k.free = append(k.free, e)
+	sink(e.seq) // want `use of e after its release`
+}
+
+var pool sync.Pool
+
+func useAfterPut() {
+	f := pool.Get().(*frame)
+	pool.Put(f)
+	f.seq = 1 // want `use of f after its release`
+}
+
+// closureAfterRelease runs whenever the caller invokes it — after the
+// release already on this path.
+func closureAfterRelease(f *frame) func() int {
+	f.Release()
+	return func() int { return int(f.seq) } // want `use of f after its release`
+}
+
+// escapeThenRelease hands the frame to a goroutine and then recycles it
+// while the goroutine may still be running.
+func escapeThenRelease(f *frame) {
+	go sink(f)
+	f.Release() // want `released after escaping`
+}
+
+// storeThenRelease stashes the frame in a field before recycling it.
+type holder struct {
+	last *frame
+}
+
+func storeThenRelease(h *holder, f *frame) {
+	h.last = f
+	f.Release() // want `released after escaping`
+}
+
+// recycleLoop is the scheduler idiom: the rebinding at the top of each
+// iteration kills the previous iteration's release fact.
+func recycleLoop(k *kernel) {
+	for i := 0; i < 4; i++ {
+		e := k.get()
+		sink(e.seq) // ok: released only after the last use
+		k.free = append(k.free, e)
+	}
+}
+
+// deferredRelease is the canonical safe pattern: the release runs at
+// function exit, after every use in the body.
+func deferredRelease(f *frame) int {
+	defer f.Release()
+	return len(f.payload) // ok: defer runs last
+}
+
+// rebound releases one frame and rebinds the name before the next use.
+func rebound(f *frame) {
+	f.Release()
+	f = &frame{}
+	sink(f.seq) // ok: the name refers to a fresh frame now
+}
+
+func suppressed(f *frame) {
+	f.Release()
+	sink(f.seq) //wile:allow poolsafe -- fixture: directive suppression
+}

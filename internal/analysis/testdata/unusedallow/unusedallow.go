@@ -1,0 +1,23 @@
+// Package unusedallow is the fixture for stale //wile:allow detection: one
+// directive that earns its keep, one that suppresses nothing, and one that
+// names an analyzer that does not exist.
+package unusedallow
+
+import "time"
+
+// used: the directive below suppresses a real simclock finding.
+func wallClock() time.Time {
+	return time.Now() //wile:allow simclock -- fixture: directive is used
+}
+
+// stale: nothing on this line drops an error.
+func clean() int {
+	return 1 //wile:allow errdrop -- fixture: suppresses nothing
+}
+
+// typo: the named analyzer is not in the suite.
+func typo() int {
+	return 2 //wile:allow nosuchcheck -- fixture: unknown analyzer
+}
+
+var use = []any{wallClock, clean, typo}

@@ -34,7 +34,8 @@ import (
 // and Pools are safe for concurrent use.
 type Pool struct {
 	workers int
-	metrics *Metrics
+	mu      sync.Mutex
+	metrics *Metrics // guarded by mu
 }
 
 // Metrics is the engine's view into a metrics registry: sweep and point
@@ -60,9 +61,13 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	}
 }
 
-// Observe attaches metrics to the pool. Passing nil detaches.
+// Observe attaches metrics to the pool. Passing nil detaches. Observe may
+// race a concurrent Map (Pools are safe for concurrent use), so the
+// attachment itself is mutex-guarded.
 func (p *Pool) Observe(m *Metrics) {
+	p.mu.Lock()
 	p.metrics = m
+	p.mu.Unlock()
 	if m != nil {
 		m.Workers.Set(float64(p.workers))
 	}
@@ -106,7 +111,10 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	if m := p.metrics; m != nil {
+	p.mu.Lock()
+	m := p.metrics
+	p.mu.Unlock()
+	if m != nil {
 		m.Sweeps.Inc()
 		m.Points.Add(int64(n))
 		m.SweepPoints.Observe(float64(n))

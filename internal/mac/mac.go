@@ -7,6 +7,7 @@ package mac
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"wile/internal/dot11"
@@ -57,6 +58,44 @@ type Stats struct {
 	RxDuplicates int // retransmissions filtered by duplicate detection
 	Retries      int
 	Drops        int // frames dropped after RetryLimit
+}
+
+// add folds other into s, field by field.
+func (s *Stats) add(other Stats) {
+	s.TxFrames += other.TxFrames
+	s.TxACKs += other.TxACKs
+	s.RxFrames += other.RxFrames
+	s.RxFCSErrors += other.RxFCSErrors
+	s.RxDuplicates += other.RxDuplicates
+	s.Retries += other.Retries
+	s.Drops += other.Drops
+}
+
+// FleetStats is a mutex-guarded aggregate of per-port Stats. Per-port
+// counters are single-goroutine (each port lives on its kernel), but fleet
+// roll-ups happen where ports from different worlds meet — an engine.Map
+// worker folding its world's totals into the sweep aggregate, or an example
+// summing forty sensors after the run — so the accumulator locks per Add
+// instead of trusting the caller's goroutine discipline.
+type FleetStats struct {
+	mu    sync.Mutex
+	total Stats // guarded by mu
+	ports int   // guarded by mu
+}
+
+// Add folds one port's counters into the aggregate.
+func (f *FleetStats) Add(s Stats) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.total.add(s)
+	f.ports++
+}
+
+// Total reports the aggregated counters and how many ports contributed.
+func (f *FleetStats) Total() (Stats, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total, f.ports
 }
 
 // PortMetrics mirrors the Stats counters into an obs.Registry. One

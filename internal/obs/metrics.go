@@ -48,8 +48,8 @@ type Histogram struct {
 	buckets []atomic.Int64
 	nan     atomic.Int64
 	mu      sync.Mutex
-	count   int64
-	sum     float64
+	count   int64   // guarded by mu
+	sum     float64 // guarded by mu
 }
 
 // Observe records one sample. NaN is not a measurement: it would poison
@@ -101,8 +101,8 @@ func (h *Histogram) snapshot() (count int64, sum float64) {
 // Registry is safe for concurrent use.
 type Registry struct {
 	mu    sync.Mutex
-	names []string // registration order; snapshots sort
-	items map[string]any
+	names []string       // registration order; snapshots sort; guarded by mu
+	items map[string]any // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -172,6 +172,8 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 }
 
 // register records the metric; the caller holds r.mu.
+//
+//wile:holds r.mu
 func (r *Registry) register(name string, it any) {
 	r.items[name] = it
 	r.names = append(r.names, name)

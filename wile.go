@@ -55,6 +55,7 @@ import (
 
 	"wile/internal/core"
 	"wile/internal/dot11"
+	"wile/internal/mac"
 	"wile/internal/medium"
 	"wile/internal/obs"
 	"wile/internal/phy"
@@ -119,6 +120,11 @@ type (
 	// FragmentHeader is a decoded wire fragment (for tools that work on
 	// raw captures).
 	FragmentHeader = core.FragmentHeader
+	// MACStats counts one port's MAC events (sensor.Port.Stats).
+	MACStats = mac.Stats
+	// MACFleetStats aggregates per-port MAC stats across a fleet (or
+	// across engine workers) under a mutex.
+	MACFleetStats = mac.FleetStats
 )
 
 // Observability. Components expose an Observe(*Registry) method that
