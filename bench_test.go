@@ -24,7 +24,9 @@ import (
 	"wile/internal/dot11"
 	"wile/internal/engine"
 	"wile/internal/experiment"
+	"wile/internal/medium"
 	"wile/internal/obs"
+	"wile/internal/phy"
 	"wile/internal/sim"
 	"wile/internal/units"
 )
@@ -468,6 +470,53 @@ func BenchmarkObsExport(b *testing.B) {
 	})
 }
 
+// --- Frame provenance ---
+//
+// BenchmarkLifecycle pairs the lossy multi-device scenario with provenance
+// off (the default nil-hook state — the baseline every PR gates allocs/op
+// against) and on (full ledger: per-frame ids, per-receiver outcome
+// resolution, per-link counts). BenchmarkDropReport isolates the report
+// serialization over a populated ledger.
+
+func BenchmarkLifecycleDisabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunDropScenario(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLifecycleProvenance(b *testing.B) {
+	b.ReportAllocs()
+	var frames int64
+	for i := 0; i < b.N; i++ {
+		prov := obs.NewProvenance()
+		if _, err := experiment.RunDropScenario(&experiment.Obs{Prov: prov}); err != nil {
+			b.Fatal(err)
+		}
+		frames = prov.Frames()
+	}
+	b.ReportMetric(float64(frames), "frames")
+}
+
+func BenchmarkDropReport(b *testing.B) {
+	prov := obs.NewProvenance()
+	if _, err := experiment.RunDropScenario(&experiment.Obs{Prov: prov}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := prov.WriteReport(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if err := prov.WriteReportJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestObsDisabledZeroAlloc is the acceptance gate for the disabled path:
 // building and marshaling a beacon with no hooks attached must stay within
 // the pre-obs allocation budget (9 allocs/op at the PR-2 baseline).
@@ -486,5 +535,34 @@ func TestObsDisabledZeroAlloc(t *testing.T) {
 	})
 	if allocs > 9 {
 		t.Fatalf("beacon build+marshal costs %.1f allocs/op with obs disabled; budget is 9", allocs)
+	}
+}
+
+// TestProvenanceDisabledZeroAlloc pins the disabled frame-provenance path:
+// with no ledger attached, one transmit/deliver cycle on the raw medium
+// must stay within the pre-provenance allocation budget (the delivery
+// closures and scheduler events; 4 allocs/op at the PR-8 baseline). The
+// ledger hooks are nil checks only — any allocation growth here means the
+// disabled path regressed.
+func TestProvenanceDisabledZeroAlloc(t *testing.T) {
+	sched := wile.NewScheduler()
+	med := wile.NewMedium(sched, wile.Channel(6))
+	tx := med.Attach("tx", wile.Position{}, 0, phy.SensitivityWiFiMCS7)
+	rx := med.Attach("rx", wile.Position{X: 2}, 0, phy.SensitivityWiFiMCS7)
+	tx.SetOn(true)
+	rx.SetOn(true)
+	rx.Handler = func(medium.Reception) {}
+	data := make([]byte, 64)
+	// Warm the history and event-queue capacity out of the measurement.
+	for i := 0; i < 8; i++ {
+		med.Transmit(tx, data, phy.RateHTMCS7SGI)
+		sched.RunFor(time.Millisecond)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		med.Transmit(tx, data, phy.RateHTMCS7SGI)
+		sched.RunFor(time.Millisecond)
+	})
+	if allocs > 4 {
+		t.Fatalf("transmit+deliver costs %.1f allocs/op with provenance disabled; budget is 4", allocs)
 	}
 }

@@ -17,6 +17,9 @@
 // -trace additionally writes Chrome trace-event timelines for the fig3a and
 // fig3b runs (streamed through a bounded-memory spill file; open the JSON at
 // https://ui.perfetto.dev).
+// -series samples the fig3a/fig3b registries on a 10 ms sim-time cadence and
+// writes the timeline as <figure>_series.csv — the counters' evolution over
+// the run, not just their final values.
 package main
 
 import (
@@ -39,6 +42,7 @@ func main() {
 	out := flag.String("out", "results", "directory for CSV outputs")
 	metrics := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
 	trace := flag.Bool("trace", false, "also write Chrome trace-event JSON timelines for fig3a/fig3b")
+	series := flag.Bool("series", false, "also write sim-time metric timelines (CSV) for fig3a/fig3b")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -51,6 +55,7 @@ func main() {
 		defer experiment.SetMetrics(experiment.SetMetrics(reg))
 	}
 	traceTimelines = *trace
+	seriesTimelines = *series
 	if err := run(flag.Arg(0), *out); err != nil {
 		fmt.Fprintln(os.Stderr, "wile-lab:", err)
 		os.Exit(1)
@@ -65,11 +70,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wile-lab [-out dir] [-metrics file] [-trace] {table1|fig3a|fig3b|fig4|claims|joincap|ablations|all}")
+	fmt.Fprintln(os.Stderr, "usage: wile-lab [-out dir] [-metrics file] [-trace] [-series] {table1|fig3a|fig3b|fig4|claims|joincap|ablations|all}")
 }
 
-// traceTimelines mirrors the -trace flag for the fig3 runs.
-var traceTimelines bool
+// traceTimelines and seriesTimelines mirror the -trace and -series flags
+// for the fig3 runs.
+var traceTimelines, seriesTimelines bool
 
 func run(cmd, out string) error {
 	switch cmd {
@@ -155,6 +161,14 @@ func fig3(out, name string, runner func(*experiment.Obs) (*experiment.Trace, err
 		defer spill.Close()
 		o.Rec = obs.NewStreamRecorder(spill)
 	}
+	if seriesTimelines {
+		// Sampling needs a registry; run on a local one when -metrics
+		// didn't install the package registry.
+		if o.Reg == nil {
+			o.Reg = obs.NewRegistry()
+		}
+		o.Series = obs.NewTimeSeries(o.Reg, obs.NewMemorySink(), 0)
+	}
 	tr, err := runner(&o)
 	if err != nil {
 		return err
@@ -173,6 +187,16 @@ func fig3(out, name string, runner func(*experiment.Obs) (*experiment.Trace, err
 			return err
 		}
 		fmt.Println("timeline written to", path, "(open at https://ui.perfetto.dev)")
+	}
+	if seriesTimelines {
+		if err := o.Series.Err(); err != nil {
+			return err
+		}
+		path := filepath.Join(out, name+"_series.csv")
+		if err := writeFile(path, o.Series.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Println("metric series written to", path)
 	}
 	return nil
 }

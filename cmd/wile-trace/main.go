@@ -8,6 +8,8 @@
 //	wile-trace fig3b > fig3b.csv
 //	wile-trace -perfetto fig3b > fig3b.json   # open at https://ui.perfetto.dev
 //	wile-trace -metrics metrics.json fig3b > fig3b.csv
+//	wile-trace -drops fig3a                   # frame-provenance drop report
+//	wile-trace -drops -json fig3a             # same report, machine-readable
 //
 // -perfetto replaces the CSV with a Chrome trace-event JSON timeline: one
 // track per device/MAC layer plus the meter's current as a counter lane.
@@ -15,11 +17,19 @@
 // firehose view; large) — the recording streams through a temporary spill
 // file, so memory stays bounded no matter how long the run. -metrics
 // snapshots the run's counters to a file.
+//
+// -drops wires a frame-provenance ledger into the run: every transmitted
+// frame resolves to exactly one outcome per potential receiver (delivered,
+// or one reason from the drop taxonomy), and the per-reason × per-link
+// report replaces the waveform CSV on stdout (-json selects the JSON form).
+// Combined with -perfetto, the timeline goes to stdout — with one instant
+// per drop on per-radio "<name> drops" tracks — and the report to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"wile/internal/experiment"
@@ -27,31 +37,45 @@ import (
 )
 
 func main() {
-	perfetto := flag.Bool("perfetto", false, "write a Chrome trace-event JSON timeline instead of CSV")
-	metrics := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
-	sched := flag.Bool("sched", false, "with -perfetto, also trace every scheduler dispatch (large)")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: wile-trace [-perfetto] [-metrics file] [-sched] {fig3a|fig3b}")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wile-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	perfetto := fs.Bool("perfetto", false, "write a Chrome trace-event JSON timeline instead of CSV")
+	metrics := fs.String("metrics", "", "write a metrics snapshot (JSON) to this file")
+	sched := fs.Bool("sched", false, "with -perfetto, also trace every scheduler dispatch (large)")
+	drops := fs.Bool("drops", false, "report frame-provenance outcomes (per drop reason and per link)")
+	jsonOut := fs.Bool("json", false, "with -drops, emit the report as JSON")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: wile-trace [-perfetto] [-metrics file] [-sched] [-drops [-json]] {fig3a|fig3b}")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
 	var runner func(*experiment.Obs) (*experiment.Trace, error)
-	switch flag.Arg(0) {
+	switch fs.Arg(0) {
 	case "fig3a":
 		runner = experiment.RunFig3aObs
 	case "fig3b":
 		runner = experiment.RunFig3bObs
 	default:
-		fmt.Fprintf(os.Stderr, "wile-trace: unknown trace %q\n", flag.Arg(0))
-		os.Exit(2)
+		fmt.Fprintf(stderr, "wile-trace: unknown trace %q\n", fs.Arg(0))
+		return 2
 	}
 	if *sched && !*perfetto {
-		fmt.Fprintln(os.Stderr, "wile-trace: -sched requires -perfetto")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "wile-trace: -sched requires -perfetto")
+		return 2
+	}
+	if *jsonOut && !*drops {
+		fmt.Fprintln(stderr, "wile-trace: -json requires -drops")
+		return 2
 	}
 
 	o := experiment.Obs{Sched: *sched}
@@ -63,7 +87,7 @@ func main() {
 			// export bytes are identical to the buffered recorder's.
 			spill, err := obs.NewSpillSink("")
 			if err != nil {
-				fatal(err)
+				return fatal(stderr, err)
 			}
 			defer spill.Close()
 			o.Rec = obs.NewStreamRecorder(spill)
@@ -74,37 +98,60 @@ func main() {
 	if *metrics != "" {
 		o.Reg = obs.NewRegistry()
 	}
+	if *drops {
+		o.Prov = obs.NewProvenance()
+	}
 	tr, err := runner(&o)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	switch {
 	case *perfetto:
-		if err := o.Rec.WriteChromeTrace(os.Stdout); err != nil {
-			fatal(err)
+		if err := o.Rec.WriteChromeTrace(stdout); err != nil {
+			return fatal(stderr, err)
+		}
+	case *drops:
+		// The drop report replaces the waveform CSV.
+		if err := writeDrops(o.Prov, stdout, *jsonOut); err != nil {
+			return fatal(stderr, err)
 		}
 	default:
-		if err := tr.WriteCSV(os.Stdout); err != nil {
-			fatal(err)
+		if err := tr.WriteCSV(stdout); err != nil {
+			return fatal(stderr, err)
+		}
+	}
+	if *perfetto && *drops {
+		// The timeline owns stdout; the report goes alongside on stderr.
+		if err := writeDrops(o.Prov, stderr, *jsonOut); err != nil {
+			return fatal(stderr, err)
 		}
 	}
 	if *metrics != "" {
 		f, err := os.Create(*metrics)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 		if err := o.Reg.WriteJSON(f); err != nil {
 			_ = f.Close()
-			fatal(err)
+			return fatal(stderr, err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
-		fmt.Fprintln(os.Stderr, "wile-trace: metrics written to", *metrics)
+		fmt.Fprintln(stderr, "wile-trace: metrics written to", *metrics)
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wile-trace:", err)
-	os.Exit(1)
+// writeDrops emits the provenance report in the selected format.
+func writeDrops(p *obs.Provenance, w io.Writer, asJSON bool) error {
+	if asJSON {
+		return p.WriteReportJSON(w)
+	}
+	return p.WriteReport(w)
+}
+
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "wile-trace:", err)
+	return 1
 }

@@ -16,6 +16,8 @@ import (
 // exactly as often as the fixture intends — the integration contract for
 // the wile-vet driver. noretain fires twice: once for a direct re-slice
 // return and once for aliasing through a local, exercising the flow graph.
+// obsguard also fires twice: once for an unguarded recorder hook and once
+// for an unguarded frame-provenance hook.
 func TestKnownBadFixture(t *testing.T) {
 	diags, err := vet(".", []string{"../../internal/analysis/testdata/knownbad"})
 	if err != nil {
@@ -30,14 +32,14 @@ func TestKnownBadFixture(t *testing.T) {
 	}
 	for _, a := range analysis.Analyzers() {
 		want := 1
-		if a.Name == "noretain" {
+		if a.Name == "noretain" || a.Name == "obsguard" {
 			want = 2
 		}
 		if counts[a.Name] != want {
 			t.Errorf("analyzer %s fired %d times, want exactly %d", a.Name, counts[a.Name], want)
 		}
 	}
-	if want := len(analysis.Analyzers()) + 1; total != want {
+	if want := len(analysis.Analyzers()) + 2; total != want {
 		t.Errorf("got %d diagnostics, want %d", total, want)
 	}
 }

@@ -30,10 +30,12 @@ func main() {
 	sched := wile.NewScheduler()
 	med := wile.NewMedium(sched, wile.Channel(1))
 
-	// One registry carries the fleet-wide aggregates; every sensor and the
-	// phone mirror their counters into it, so the delivery arithmetic at the
-	// end comes from a single snapshot instead of per-component bookkeeping.
+	// One registry carries the fleet-wide aggregates; every sensor, the
+	// phone and the medium itself mirror their counters into it, so the
+	// delivery arithmetic at the end comes from a single snapshot instead
+	// of per-component bookkeeping.
 	reg := wile.NewRegistry()
+	med.Observe(reg)
 
 	// Sensors on a rough grid across a 50 m × 40 m field.
 	var fleet []*wile.Sensor
@@ -112,7 +114,8 @@ func main() {
 	collected := reg.Counter("wile.rx_messages").Value()
 	duplicates := reg.Counter("wile.rx_duplicates").Value()
 	fmt.Printf("\nair stats: %d transmissions, %d collisions (CSMA + jitter keep the channel clean)\n",
-		med.Stats.Transmissions, med.Stats.Collisions)
+		reg.Counter("wile.medium_transmissions").Value(),
+		reg.Counter("wile.medium_collisions").Value())
 	totals, ports := macTotals.Total()
 	fmt.Printf("MAC fleet (%d ports): %d frames on air, %d retries, %d drops, %d duplicates filtered\n",
 		ports, totals.TxFrames, totals.Retries, totals.Drops, totals.RxDuplicates)

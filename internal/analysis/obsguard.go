@@ -16,6 +16,12 @@ import (
 //	}
 //	p.Metrics.TxFrames.Inc() // flagged unless inside "if p.Metrics != nil"
 //
+// The frame-provenance ledger follows the same contract: every
+// Resolve/QueueDrop on a *obs.Provenance hook must sit behind a nil guard
+// (the if-init form "if pr := p.med.Prov; pr != nil { pr.Resolve(...) }"
+// counts), so simulations without a ledger attached skip the bookkeeping
+// entirely.
+//
 // Calls whose receiver is rooted at a function parameter are exempt: those
 // are wiring-time helpers (TraceTo, Observe, NewMetrics) whose caller owns
 // the nil decision. Guards must be in the same function literal as the
@@ -80,7 +86,7 @@ func runObsGuard(pass *Pass) error {
 
 // isObsMethod reports whether sel resolves to a method whose receiver type
 // is declared in wile/internal/obs (Recorder, Registry, Counter, Gauge,
-// Histogram).
+// Histogram, Provenance, TimeSeries).
 func isObsMethod(info *types.Info, sel *ast.SelectorExpr) bool {
 	s, ok := info.Selections[sel]
 	if !ok || s.Kind() != types.MethodVal {

@@ -1,7 +1,8 @@
 // Package knownbad is the integration fixture for cmd/wile-vet: every
 // analyzer in the suite fires in this package (noretain twice — once
-// directly and once through a local alias), and the exact diagnostic set
-// is pinned by cmd/wile-vet/testdata/knownbad.json.
+// directly and once through a local alias; obsguard twice — once for a
+// recorder hook and once for a provenance hook), and the exact diagnostic
+// set is pinned by cmd/wile-vet/testdata/knownbad.json.
 package knownbad
 
 import (
@@ -52,8 +53,18 @@ func (t *traced) tick() {
 	t.rec.Instant(t.track, 0, "tick") // obsguard: hook used without a nil guard
 }
 
+type provTraced struct {
+	prov *obs.Provenance
+	id   obs.ActorID
+}
+
+func (t *provTraced) drop(frame obs.FrameID, at sim.Time) {
+	t.prov.Resolve(frame, t.id, at, obs.DropCollided) // obsguard: provenance hook used without a nil guard
+}
+
 // use keeps the fixture's helpers referenced.
 var use = []any{
 	wallClock, deadline, ParseByte, EncodeBody, EncodeTail, run,
-	(*traced).tick, useAfterRelease, (*guardedStats).add, (*guardedStats).snapshot,
+	(*traced).tick, (*provTraced).drop, useAfterRelease,
+	(*guardedStats).add, (*guardedStats).snapshot,
 }

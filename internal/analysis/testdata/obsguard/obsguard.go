@@ -1,7 +1,10 @@
 // Package obsguard is the fixture for the obsguard analyzer.
 package obsguard
 
-import "wile/internal/obs"
+import (
+	"wile/internal/obs"
+	"wile/internal/sim"
+)
 
 // device models the hot-path shape: observability hooks stored in nilable
 // fields, consulted on every simulated event.
@@ -93,4 +96,36 @@ func localGuarded(mk func() *obs.Registry) {
 	if reg := mk(); reg != nil {
 		reg.Counter("local").Inc()
 	}
+}
+
+// provDevice models the frame-provenance hook shape: a nilable ledger
+// consulted at every terminal frame outcome on the receive path.
+type provDevice struct {
+	prov *obs.Provenance
+	id   obs.ActorID
+}
+
+func (d *provDevice) hooks() (*obs.Provenance, obs.ActorID) {
+	return d.prov, d.id
+}
+
+// goodResolveInit is the canonical hook idiom: read the field into a local
+// in the if-init statement and prove it non-nil before resolving.
+func (d *provDevice) goodResolveInit(frame obs.FrameID, at sim.Time) {
+	if pr := d.prov; pr != nil {
+		pr.Resolve(frame, d.id, at, obs.Delivered)
+	}
+}
+
+// goodResolveAccessor mirrors a delegated resolver: both hooks come back
+// from an accessor and the ledger half is guarded.
+func (d *provDevice) goodResolveAccessor(frame obs.FrameID, at sim.Time) {
+	if pr, id := d.hooks(); pr != nil {
+		pr.Resolve(frame, id, at, obs.DropDecodeError)
+	}
+}
+
+func (d *provDevice) badResolve(frame obs.FrameID, at sim.Time) {
+	d.prov.Resolve(frame, d.id, at, obs.DropCollided) // want `obs call d.prov.Resolve is not behind a nil guard`
+	d.prov.QueueDrop(d.id, at)                        // want `obs call d.prov.QueueDrop is not behind a nil guard`
 }

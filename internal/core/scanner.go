@@ -115,7 +115,23 @@ func NewScanner(sched *sim.Scheduler, med *medium.Medium, cfg ScannerConfig) *Sc
 	// records hold no references into the beacon), so the scanner can hand
 	// frames straight back to the decode pool.
 	sc.Port.ReleaseAfterMonitor = true
+	// The scanner owns the decoded-frame provenance outcomes: the Wi-LE
+	// pipeline, not the 802.11 duplicate cache, decides what counts as
+	// filtered (core sequence dedup) or undecodable (bad key / auth).
+	sc.Port.ProvDelegate = true
 	return sc
+}
+
+// resolve records rx's terminal provenance outcome at this scanner. The
+// medium already resolved collided receptions, and a nil ledger means
+// provenance is off.
+func (sc *Scanner) resolve(rx medium.Reception, reason obs.DropReason) {
+	if rx.Collided {
+		return
+	}
+	if pr, id := sc.Port.Provenance(); pr != nil {
+		pr.Resolve(rx.Frame, id, rx.End, reason)
+	}
 }
 
 // TraceTo attaches the scanner's MAC to a trace recorder. Passing a nil
@@ -175,10 +191,16 @@ func DecodeBeacon(b *dot11.Beacon, keyFor func(deviceID uint32) *Key) (*Message,
 // ErrNotWiLE marks a beacon without Wi-LE vendor elements.
 var ErrNotWiLE = errors.New("core: beacon carries no Wi-LE elements")
 
-// handleFrame processes every decodable frame the radio hears.
+// handleFrame processes every decodable frame the radio hears. As the
+// port's ProvDelegate owner it resolves every decoded frame to exactly one
+// provenance outcome: frames the Wi-LE pipeline rejects for corruption-like
+// reasons (bad key, auth failure, malformed fragments) are decode errors,
+// core sequence dedup is dedup_filtered, everything else the radio decoded
+// — including foreign traffic — counts as delivered.
 func (sc *Scanner) handleFrame(f dot11.Frame, rx medium.Reception) {
 	beacon, ok := f.(*dot11.Beacon)
 	if !ok {
+		sc.resolve(rx, obs.Delivered)
 		return
 	}
 	msg, err := DecodeBeacon(beacon, sc.keyFor)
@@ -188,6 +210,7 @@ func (sc *Scanner) handleFrame(f dot11.Frame, rx medium.Reception) {
 		if sc.Metrics != nil {
 			sc.Metrics.OtherBeacons.Inc()
 		}
+		sc.resolve(rx, obs.Delivered)
 		return
 	case errors.Is(err, ErrNoKey), errors.Is(err, ErrAuth):
 		sc.Stats.BeaconsSeen++
@@ -196,6 +219,7 @@ func (sc *Scanner) handleFrame(f dot11.Frame, rx medium.Reception) {
 			sc.Metrics.BeaconsSeen.Inc()
 			sc.Metrics.EncryptedDrops.Inc()
 		}
+		sc.resolve(rx, obs.DropDecodeError)
 		return
 	case err != nil:
 		sc.Stats.BeaconsSeen++
@@ -204,6 +228,7 @@ func (sc *Scanner) handleFrame(f dot11.Frame, rx medium.Reception) {
 			sc.Metrics.BeaconsSeen.Inc()
 			sc.Metrics.DecodeErrors.Inc()
 		}
+		sc.resolve(rx, obs.DropDecodeError)
 		return
 	}
 	sc.Stats.BeaconsSeen++
@@ -211,6 +236,7 @@ func (sc *Scanner) handleFrame(f dot11.Frame, rx medium.Reception) {
 		sc.Metrics.BeaconsSeen.Inc()
 	}
 	if msg.Downlink && !sc.Cfg.AcceptDownlink {
+		sc.resolve(rx, obs.Delivered)
 		return
 	}
 	rec, known := sc.devices[msg.DeviceID]
@@ -224,8 +250,10 @@ func (sc *Scanner) handleFrame(f dot11.Frame, rx medium.Reception) {
 		if sc.Metrics != nil {
 			sc.Metrics.Duplicates.Inc()
 		}
+		sc.resolve(rx, obs.DropDedupFiltered)
 		return
 	}
+	sc.resolve(rx, obs.Delivered)
 	if known {
 		// Sequence gap = missed messages (modulo wraparound).
 		gap := int(uint16(msg.Seq - rec.LastSeq))

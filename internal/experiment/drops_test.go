@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"wile/internal/obs"
+)
+
+// runDrops executes the lossy scenario with a fresh ledger and returns the
+// ledger plus both report serializations.
+func runDrops(t *testing.T) (*obs.Provenance, *DropResult, string, string) {
+	t.Helper()
+	prov := obs.NewProvenance()
+	res, err := RunDropScenario(&Obs{Prov: prov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt, js bytes.Buffer
+	if err := prov.WriteReport(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := prov.WriteReportJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	return prov, res, txt.String(), js.String()
+}
+
+// TestDropScenarioConservation pins the ledger invariant on a full lossy
+// world: every (frame, receiver) pair resolves to exactly one outcome, the
+// outcome total equals the potential-reception total, and every reason in
+// the taxonomy actually occurs.
+func TestDropScenarioConservation(t *testing.T) {
+	prov, res, _, _ := runDrops(t)
+	if err := prov.Verify(); err != nil {
+		t.Fatalf("conservation violated: %v", err)
+	}
+	wantPotential := int64(res.Stats.Transmissions) * int64(res.Radios-1)
+	if got := prov.Potential(); got != wantPotential {
+		t.Errorf("potential receptions = %d, want transmissions×(radios−1) = %d", got, wantPotential)
+	}
+	out := prov.Outcomes()
+	var total int64
+	for _, n := range out {
+		total += n
+	}
+	if total != prov.Potential() {
+		t.Errorf("Σ outcomes = %d, want %d", total, prov.Potential())
+	}
+	for reason := obs.DropReason(0); reason < obs.NumDropReasons; reason++ {
+		if reason == obs.DropQueueDrop {
+			if prov.QueueDrops() == 0 {
+				t.Errorf("scenario produced no queue_drop")
+			}
+			continue
+		}
+		if out[reason] == 0 {
+			t.Errorf("scenario produced no %v outcome", reason)
+		}
+	}
+	// Every reception the medium handed to a MAC resolved at a decode
+	// layer; the decode-side outcomes must re-add to the delivery count.
+	decodeSide := out[obs.Delivered] + out[obs.DropCollided] + out[obs.DropFCSError] +
+		out[obs.DropDedupFiltered] + out[obs.DropDecodeError]
+	if decodeSide != int64(res.Stats.Deliveries) {
+		t.Errorf("decode-side outcomes = %d, want Stats.Deliveries = %d", decodeSide, res.Stats.Deliveries)
+	}
+}
+
+// TestDropScenarioDeterminism pins the cross-GOMAXPROCS byte-identity
+// contract for both report formats.
+func TestDropScenarioDeterminism(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var first, firstJSON string
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		_, _, txt, js := runDrops(t)
+		if first == "" {
+			first, firstJSON = txt, js
+			continue
+		}
+		if txt != first {
+			t.Errorf("text report differs at GOMAXPROCS=%d:\n%s\n---\n%s", procs, txt, first)
+		}
+		if js != firstJSON {
+			t.Errorf("JSON report differs at GOMAXPROCS=%d", procs)
+		}
+	}
+}
+
+// TestDropScenarioRegistryMirror: with a registry wired alongside the
+// ledger, the wile.medium_* counters must agree with both views.
+func TestDropScenarioRegistryMirror(t *testing.T) {
+	prov := obs.NewProvenance()
+	reg := obs.NewRegistry()
+	res, err := RunDropScenario(&Obs{Prov: prov, Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("wile.medium_transmissions").Value(); got != int64(res.Stats.Transmissions) {
+		t.Errorf("wile.medium_transmissions = %d, want %d", got, res.Stats.Transmissions)
+	}
+	if got := reg.Counter("wile.medium_frames").Value(); got != prov.Frames() {
+		t.Errorf("wile.medium_frames = %d, want %d", got, prov.Frames())
+	}
+	out := prov.Outcomes()
+	if got := reg.Counter("wile.medium_delivered").Value(); got != out[obs.Delivered] {
+		t.Errorf("wile.medium_delivered = %d, want %d", got, out[obs.Delivered])
+	}
+	if got := reg.Counter("wile.medium_drop_collided").Value(); got != out[obs.DropCollided] {
+		t.Errorf("wile.medium_drop_collided = %d, want %d", got, out[obs.DropCollided])
+	}
+	if got := reg.Counter("wile.medium_drop_queue_drop").Value(); got != prov.QueueDrops() {
+		t.Errorf("wile.medium_drop_queue_drop = %d, want %d", got, prov.QueueDrops())
+	}
+}

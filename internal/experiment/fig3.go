@@ -15,18 +15,25 @@ import (
 )
 
 // Obs bundles the optional observability sinks a run can be wired to: a
-// trace recorder for the timeline and a registry for counters. Either field
-// may be nil; a nil *Obs disables observability entirely.
+// trace recorder for the timeline, a registry for counters, a frame
+// provenance ledger and a sim-time metrics sampler. Any field may be nil; a
+// nil *Obs disables observability entirely.
 type Obs struct {
 	Rec *obs.Recorder
 	Reg *obs.Registry
+	// Prov, when non-nil, is wired into the run's medium so every frame
+	// resolves to a drop-taxonomy outcome (wile-trace -drops reads it).
+	Prov *obs.Provenance
+	// Series, when non-nil, samples Reg (or the run's registry) on its
+	// sim-time cadence for the whole window.
+	Series *obs.TimeSeries
 	// Sched additionally records every scheduler dispatch as an instant on
 	// a "sched" track — the firehose view (one event per timer tick and
 	// meter sample), for debugging sessions rather than figure runs.
 	Sched bool
 }
 
-// rec/reg unwrap an optional Obs.
+// rec/reg/prov/series unwrap an optional Obs.
 func (o *Obs) rec() *obs.Recorder {
 	if o == nil {
 		return nil
@@ -39,6 +46,43 @@ func (o *Obs) reg() *obs.Registry {
 		return nil
 	}
 	return o.Reg
+}
+
+func (o *Obs) prov() *obs.Provenance {
+	if o == nil {
+		return nil
+	}
+	return o.Prov
+}
+
+func (o *Obs) series() *obs.TimeSeries {
+	if o == nil {
+		return nil
+	}
+	return o.Series
+}
+
+// wire attaches the Obs bundle's medium-level sinks to a freshly built
+// world: medium counters into the registry, the provenance ledger into the
+// medium (with registry mirror and drop instants when those sinks are also
+// present), and the time-series sampler onto the kernel. Per-component
+// wiring (TraceTo / Observe) stays at the call sites, which know the cast.
+func (o *Obs) wire(w *world) {
+	if reg := o.reg(); reg != nil {
+		w.med.Observe(reg)
+	}
+	if p := o.prov(); p != nil {
+		w.med.ObserveProvenance(p)
+		if reg := o.reg(); reg != nil {
+			p.Observe(reg)
+		}
+		if r := o.rec(); r != nil {
+			p.TraceTo(r)
+		}
+	}
+	if ts := o.series(); ts != nil {
+		ts.Run(w.sched)
+	}
 }
 
 // Trace is one Figure-3 current waveform: the 50 kSa/s multimeter record
@@ -72,6 +116,7 @@ func RunFig3a() (*Trace, error) { return RunFig3aObs(nil) }
 // its registry.
 func RunFig3aObs(o *Obs) (*Trace, error) {
 	w := newWorld()
+	o.wire(w)
 	accessPoint := w.newAP()
 	station := w.newStation()
 	dev := station.Dev
@@ -136,6 +181,7 @@ func RunFig3b() (*Trace, error) { return RunFig3bObs(nil) }
 // recorder, MAC counters in its registry.
 func RunFig3bObs(o *Obs) (*Trace, error) {
 	w := newWorld()
+	o.wire(w)
 	sensor := core.NewSensor(w.sched, w.med, core.SensorConfig{DeviceID: 0x1001, Position: devicePos})
 	scanner := core.NewScanner(w.sched, w.med, core.ScannerConfig{Position: apPos})
 	m := meter.New(w.sched, sensor.Dev, meter.DefaultSampleRate)

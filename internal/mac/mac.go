@@ -6,6 +6,7 @@
 package mac
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -140,6 +141,13 @@ type Port struct {
 	// addressing — monitor mode, which is how the Wi-LE evaluation's
 	// receiver verifies injected beacons.
 	Monitor func(f dot11.Frame, rx medium.Reception)
+	// ProvDelegate hands the decode-success provenance outcomes to the
+	// Monitor's owner: when set, the port still resolves undecodable frames
+	// (fcs_error / decode_error — a Monitor never sees those) but leaves
+	// every decoded frame's outcome (delivered / dedup_filtered) to whoever
+	// installed the Monitor. The Scanner sets it because its beacon pipeline
+	// — not the 802.11 duplicate cache — decides what counts as filtered.
+	ProvDelegate bool
 	// ReleaseAfterMonitor lets a monitor opt back in to frame recycling:
 	// setting it promises that Monitor is done with the frame (and
 	// everything aliasing it) by the time it returns, so the receive path
@@ -261,6 +269,31 @@ func rxName(f dot11.Frame) string {
 // SetRadioOn powers the radio. Powering off cancels nothing in the TX
 // queue, but nothing will transmit or be received until power returns.
 func (p *Port) SetRadioOn(on bool) { p.trx.SetOn(on) }
+
+// Provenance exposes the medium's frame ledger and this port's actor id,
+// so a ProvDelegate owner can resolve the outcomes the port leaves to it.
+func (p *Port) Provenance() (*obs.Provenance, obs.ActorID) {
+	return p.med.Prov, p.trx.ProvID()
+}
+
+// resolve records rx's terminal outcome at this receiver. Collided
+// receptions were already resolved by the medium, and a nil ledger means
+// provenance is off; both make this a no-op.
+func (p *Port) resolve(rx medium.Reception, reason obs.DropReason) {
+	if rx.Collided {
+		return
+	}
+	if pr := p.med.Prov; pr != nil {
+		pr.Resolve(rx.Frame, p.trx.ProvID(), rx.End, reason)
+	}
+}
+
+// queueDrop records a TX-side drop (frame never reached the air).
+func (p *Port) queueDrop() {
+	if pr := p.med.Prov; pr != nil {
+		pr.QueueDrop(p.trx.ProvID(), p.sched.Now())
+	}
+}
 
 // timing reports the DCF parameters for the port's current rate.
 func (p *Port) timing() phy.MACTiming { return phy.Timing(p.Rate) }
@@ -405,6 +438,7 @@ func (p *Port) transmit(out *outgoing) {
 	if !p.trx.On() {
 		// Radio was powered down with traffic queued: fail the frame
 		// rather than transmitting from a dead radio.
+		p.queueDrop()
 		p.finish(out, false)
 		return
 	}
@@ -512,6 +546,16 @@ func (p *Port) receive(rx medium.Reception) {
 		if p.Metrics != nil {
 			p.Metrics.RxFCSErrors.Inc()
 		}
+		// Undecodable frames never reach a Monitor, so the port owns this
+		// outcome even under ProvDelegate. A dot11.ErrFCS is the corruption
+		// taxonomy bucket; anything else (truncated, unsupported) is a
+		// decode error.
+		var fcs *dot11.ErrFCS
+		if errors.As(err, &fcs) {
+			p.resolve(rx, obs.DropFCSError)
+		} else {
+			p.resolve(rx, obs.DropDecodeError)
+		}
 		return
 	}
 	if p.Monitor != nil {
@@ -520,6 +564,9 @@ func (p *Port) receive(rx medium.Reception) {
 	// ACK completion for our pending frame. The ACK dies here, so it can
 	// feed the decode pool.
 	if ack, isACK := f.(*dot11.ACK); isACK {
+		if !p.ProvDelegate {
+			p.resolve(rx, obs.Delivered)
+		}
 		if p.current != nil && p.current.wantACK && ack.Receiver == p.Addr {
 			if p.ackTimer != nil {
 				p.sched.Cancel(p.ackTimer)
@@ -552,8 +599,14 @@ func (p *Port) receive(rx medium.Reception) {
 			if p.Metrics != nil {
 				p.Metrics.RxDuplicates.Inc()
 			}
+			if !p.ProvDelegate {
+				p.resolve(rx, obs.DropDedupFiltered)
+			}
 			p.release(f)
 			return
+		}
+		if !p.ProvDelegate {
+			p.resolve(rx, obs.Delivered)
 		}
 		if p.Handler != nil {
 			p.Handler(f, rx)
@@ -568,6 +621,9 @@ func (p *Port) receive(rx medium.Reception) {
 		if p.rec != nil {
 			p.rec.Instant(p.track, p.sched.Now(), rxName(f))
 		}
+		if !p.ProvDelegate {
+			p.resolve(rx, obs.Delivered)
+		}
 		if p.Handler != nil {
 			p.Handler(f, rx)
 		} else {
@@ -575,7 +631,11 @@ func (p *Port) receive(rx medium.Reception) {
 		}
 	default:
 		// Overheard traffic for someone else: decoded only to be
-		// discarded, the dominant receive path on a shared channel.
+		// discarded, the dominant receive path on a shared channel. The
+		// radio still decoded it, so provenance calls it delivered.
+		if !p.ProvDelegate {
+			p.resolve(rx, obs.Delivered)
+		}
 		p.release(f)
 	}
 }
@@ -644,6 +704,7 @@ func (p *Port) sendACK(to dot11.MAC, atRate phy.Rate) {
 	t := p.timing()
 	p.sched.DoAfter(t.SIFS, func() {
 		if !p.trx.On() {
+			p.queueDrop()
 			return
 		}
 		airtime := p.med.Transmit(p.trx, raw, ControlRate(atRate))

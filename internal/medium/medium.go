@@ -15,6 +15,7 @@ import (
 	"math"
 	"time"
 
+	"wile/internal/obs"
 	"wile/internal/phy"
 	"wile/internal/sim"
 )
@@ -52,6 +53,11 @@ type Reception struct {
 	Collided bool
 	// Start and End bound the frame's airtime.
 	Start, End sim.Time
+	// Frame is the provenance id assigned at Transmit, or zero when no
+	// ledger is attached. A collided reception was already resolved by the
+	// medium; receivers resolve the decode-side outcomes of the rest
+	// (mac.Port does, or its ProvDelegate owner).
+	Frame obs.FrameID
 }
 
 // Transceiver is one radio attached to the medium.
@@ -70,6 +76,9 @@ type Transceiver struct {
 	Handler func(rx Reception)
 	// on tracks whether the radio is powered.
 	on bool
+	// prov is this radio's actor id in the medium's provenance ledger,
+	// assigned when the ledger is wired (ObserveProvenance / Attach).
+	prov obs.ActorID
 }
 
 // SetOn powers the radio on or off. A powered-off radio neither receives
@@ -79,12 +88,17 @@ func (t *Transceiver) SetOn(on bool) { t.on = on }
 // On reports whether the radio is powered.
 func (t *Transceiver) On() bool { return t.on }
 
+// ProvID reports the radio's actor id in the medium's provenance ledger.
+// Meaningful only while the medium's Prov hook is non-nil.
+func (t *Transceiver) ProvID() obs.ActorID { return t.prov }
+
 // transmission is one in-flight (or recently finished) frame.
 type transmission struct {
 	from       *Transceiver
 	data       []byte
 	rate       phy.Rate
 	start, end sim.Time
+	frame      obs.FrameID
 }
 
 // Medium is one radio channel shared by a set of transceivers.
@@ -99,6 +113,14 @@ type Medium struct {
 	// New) or merely set the Collided flag.
 	Corrupt bool
 
+	// Prov, when non-nil, is the frame-provenance ledger: Transmit assigns
+	// each frame an id and deliver resolves the medium-owned outcomes
+	// (radio_off, below_sensitivity, collided). Wire it through
+	// ObserveProvenance so already-attached radios get actor ids.
+	Prov *obs.Provenance
+	// Metrics, when non-nil, mirrors Stats into a registry (see Observe).
+	Metrics *Metrics
+
 	nodes   []*Transceiver
 	history []transmission
 	// Stats counts medium-level events for the experiment harness.
@@ -110,6 +132,25 @@ type Stats struct {
 	Transmissions int
 	Deliveries    int
 	Collisions    int
+}
+
+// Metrics mirrors the Stats counters into an obs.Registry as wile.medium_*
+// counters, so examples and CLIs report medium activity without reaching
+// into simulator structs.
+type Metrics struct {
+	Transmissions *obs.Counter
+	Deliveries    *obs.Counter
+	Collisions    *obs.Counter
+}
+
+// MetricsFor returns the registry's shared medium counters, registering
+// them on first use.
+func MetricsFor(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Transmissions: reg.Counter("wile.medium_transmissions"),
+		Deliveries:    reg.Counter("wile.medium_deliveries"),
+		Collisions:    reg.Counter("wile.medium_collisions"),
+	}
 }
 
 // New builds a medium on the given channel with an indoor path-loss model
@@ -126,8 +167,36 @@ func New(sched *sim.Scheduler, ch phy.Channel) *Medium {
 // Attach adds a radio at pos. The radio starts powered off.
 func (m *Medium) Attach(name string, pos Position, txPower, sensitivity phy.DBm) *Transceiver {
 	t := &Transceiver{m: m, Name: name, Pos: pos, Sensitivity: sensitivity, TxPower: txPower}
+	if m.Prov != nil {
+		t.prov = m.Prov.Actor(name)
+	}
 	m.nodes = append(m.nodes, t)
 	return t
+}
+
+// Observe mirrors the medium's Stats into the registry's wile.medium_*
+// counters (see MetricsFor). Counts accumulated before wiring are
+// back-filled so the registry never lags Stats.
+func (m *Medium) Observe(reg *obs.Registry) {
+	m.Metrics = MetricsFor(reg)
+	if mm := m.Metrics; mm != nil {
+		mm.Transmissions.Add(int64(m.Stats.Transmissions))
+		mm.Deliveries.Add(int64(m.Stats.Deliveries))
+		mm.Collisions.Add(int64(m.Stats.Collisions))
+	}
+}
+
+// ObserveProvenance attaches a frame-provenance ledger, registering every
+// already-attached radio as an actor. Frames transmitted before wiring keep
+// FrameID zero and stay outside the ledger's accounting.
+func (m *Medium) ObserveProvenance(p *obs.Provenance) {
+	m.Prov = p
+	if p == nil {
+		return
+	}
+	for _, t := range m.nodes {
+		t.prov = p.Actor(t.Name)
+	}
 }
 
 // rssiAt reports from's signal strength at to.
@@ -179,8 +248,17 @@ func (m *Medium) Transmit(t *Transceiver, data []byte, rate phy.Rate) time.Durat
 	airtime := phy.FrameAirtime(rate, len(data))
 	now := m.sched.Now()
 	tx := transmission{from: t, data: data, rate: rate, start: now, end: now.Add(airtime)}
+	if m.Prov != nil {
+		// Every other attached radio is a potential receiver and must
+		// resolve to exactly one outcome (deliver schedules one event per
+		// radio below).
+		tx.frame = m.Prov.Transmitted(t.prov, len(m.nodes)-1)
+	}
 	m.history = append(m.history, tx)
 	m.Stats.Transmissions++
+	if m.Metrics != nil {
+		m.Metrics.Transmissions.Inc()
+	}
 	m.pruneHistory(now)
 
 	for _, rcv := range m.nodes {
@@ -193,13 +271,22 @@ func (m *Medium) Transmit(t *Transceiver, data []byte, rate phy.Rate) time.Durat
 	return airtime
 }
 
-// deliver decides at end-of-frame whether rcv decodes tx.
+// deliver decides at end-of-frame whether rcv decodes tx. The medium owns
+// the provenance outcomes it can decide alone (radio_off,
+// below_sensitivity, collided); receptions it hands to a Handler resolve
+// at the decode layers.
 func (m *Medium) deliver(tx transmission, rcv *Transceiver) {
 	if !rcv.on || rcv.Handler == nil {
+		if m.Prov != nil {
+			m.Prov.Resolve(tx.frame, rcv.prov, tx.end, obs.DropRadioOff)
+		}
 		return
 	}
 	rssi := m.rssiAt(tx.from, rcv)
 	if rssi < rcv.Sensitivity {
+		if m.Prov != nil {
+			m.Prov.Resolve(tx.frame, rcv.prov, tx.end, obs.DropBelowSensitivity)
+		}
 		return
 	}
 	collided := false
@@ -229,6 +316,12 @@ func (m *Medium) deliver(tx transmission, rcv *Transceiver) {
 	data := tx.data
 	if collided {
 		m.Stats.Collisions++
+		if m.Metrics != nil {
+			m.Metrics.Collisions.Inc()
+		}
+		if m.Prov != nil {
+			m.Prov.Resolve(tx.frame, rcv.prov, tx.end, obs.DropCollided)
+		}
 		if m.Corrupt {
 			corrupted := append([]byte(nil), data...)
 			// Flip a mid-frame byte so the FCS fails: the canonical
@@ -238,6 +331,9 @@ func (m *Medium) deliver(tx transmission, rcv *Transceiver) {
 		}
 	}
 	m.Stats.Deliveries++
+	if m.Metrics != nil {
+		m.Metrics.Deliveries.Inc()
+	}
 	rcv.Handler(Reception{
 		Data:     data,
 		Rate:     tx.rate,
@@ -245,6 +341,7 @@ func (m *Medium) deliver(tx transmission, rcv *Transceiver) {
 		Collided: collided,
 		Start:    tx.start,
 		End:      tx.end,
+		Frame:    tx.frame,
 	})
 }
 

@@ -37,17 +37,18 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value reports the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// Histogram is a fixed-bucket distribution. Bucket counts are atomic; the
-// count/sum pair updates and snapshots under one lock, so a snapshot never
-// reports a pair no real instant produced. Observe must still be called
-// from deterministic call sites (a kernel goroutine, or the caller side of
-// an engine sweep) when snapshots need to be byte-identical across runs —
-// which is how every histogram in this repository is fed.
+// Histogram is a fixed-bucket distribution. Buckets, count and sum update
+// and snapshot under one lock, so a snapshot never reports a combination no
+// real instant produced: Σ buckets always equals count (the torn-read test
+// pins this). Observe must still be called from deterministic call sites (a
+// kernel goroutine, or the caller side of an engine sweep) when snapshots
+// need to be byte-identical across runs — which is how every histogram in
+// this repository is fed.
 type Histogram struct {
 	bounds  []float64 // inclusive upper bounds, ascending; implicit +Inf last
-	buckets []atomic.Int64
 	nan     atomic.Int64
 	mu      sync.Mutex
+	buckets []int64 // guarded by mu
 	count   int64   // guarded by mu
 	sum     float64 // guarded by mu
 }
@@ -62,8 +63,8 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.buckets[i].Add(1)
 	h.mu.Lock()
+	h.buckets[i]++
 	h.count++
 	h.sum += v
 	h.mu.Unlock()
@@ -86,13 +87,13 @@ func (h *Histogram) Sum() float64 {
 // NaNDropped reports how many NaN samples Observe discarded.
 func (h *Histogram) NaNDropped() int64 { return h.nan.Load() }
 
-// snapshot reads the count/sum pair in one critical section, so the two
-// values always belong to the same observation prefix even when a snapshot
-// races an Observe.
-func (h *Histogram) snapshot() (count int64, sum float64) {
+// snapshot reads buckets, count and sum in one critical section, so the
+// three always belong to the same observation prefix even when a snapshot
+// races an Observe — Σ buckets equals count in every snapshot.
+func (h *Histogram) snapshot() (count int64, sum float64, buckets []int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.count, h.sum
+	return h.count, h.sum, append([]int64(nil), h.buckets...)
 }
 
 // Registry is a named collection of metrics. Metric constructors are
@@ -165,7 +166,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	}
 	h := &Histogram{
 		bounds:  append([]float64(nil), bounds...),
-		buckets: make([]atomic.Int64, len(bounds)+1),
+		buckets: make([]int64, len(bounds)+1),
 	}
 	r.register(name, h)
 	return h
@@ -223,7 +224,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		if !ok {
 			return "", false
 		}
-		count, sum := h.snapshot()
+		count, sum, buckets := h.snapshot()
 		var b []byte
 		b = append(b, `{"count":`...)
 		b = strconv.AppendInt(b, count, 10)
@@ -232,7 +233,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		b = append(b, `,"nan":`...)
 		b = strconv.AppendInt(b, h.NaNDropped(), 10)
 		b = append(b, `,"buckets":[`...)
-		for i := range h.buckets {
+		for i := range buckets {
 			if i > 0 {
 				b = append(b, ',')
 			}
@@ -243,7 +244,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				b = append(b, `"+Inf"`...)
 			}
 			b = append(b, `,"count":`...)
-			b = strconv.AppendInt(b, h.buckets[i].Load(), 10)
+			b = strconv.AppendInt(b, buckets[i], 10)
 			b = append(b, '}')
 		}
 		b = append(b, `]}`...)

@@ -67,8 +67,11 @@ func TestHistogramDropsNaN(t *testing.T) {
 // TestHistogramSnapshotPairConsistent hammers one histogram from writers
 // while snapshotting: with every observation contributing the same value,
 // any consistent count/sum pair satisfies sum == count*v exactly — a torn
-// pair (count read before an Observe, sum after) breaks the identity.
-// Catches the old two-synchronizations bug; run with -race for full value.
+// pair (count read before an Observe, sum after) breaks the identity — and
+// every snapshot's buckets must sum to its count. Bucket counts used to be
+// atomics loaded outside the count/sum critical section, so a snapshot
+// could show Σ buckets ≠ count; this test pins the single-critical-section
+// fix. Run with -race for full value.
 func TestHistogramSnapshotPairConsistent(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Histogram("pair", []float64{1})
@@ -85,13 +88,64 @@ func TestHistogramSnapshotPairConsistent(t *testing.T) {
 		}()
 	}
 	for i := 0; i < 200; i++ {
-		count, sum := h.snapshot()
+		count, sum, buckets := h.snapshot()
 		if sum != float64(count)*v {
 			t.Fatalf("torn snapshot: count=%d sum=%v (want %v)", count, sum, float64(count)*v)
 		}
+		var inBuckets int64
+		for _, b := range buckets {
+			inBuckets += b
+		}
+		if inBuckets != count {
+			t.Fatalf("torn snapshot: Σ buckets=%d, count=%d", inBuckets, count)
+		}
 	}
 	wg.Wait()
-	if count, sum := h.snapshot(); count != 4*perWriter || sum != 4*perWriter*v {
+	if count, sum, _ := h.snapshot(); count != 4*perWriter || sum != 4*perWriter*v {
 		t.Fatalf("final snapshot count=%d sum=%v", count, sum)
 	}
+}
+
+// TestRegistryWriteJSONBucketsConsistent replays the same race through the
+// public WriteJSON path: every concurrent snapshot must carry buckets that
+// sum exactly to its count.
+func TestRegistryWriteJSONBucketsConsistent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("race_us", []float64{1, 10, 100})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Histograms map[string]struct {
+				Count   int64 `json:"count"`
+				Buckets []struct {
+					Count int64 `json:"count"`
+				} `json:"buckets"`
+			} `json:"histograms"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("snapshot is not valid JSON: %v", err)
+		}
+		hs := doc.Histograms["race_us"]
+		var inBuckets int64
+		for _, b := range hs.Buckets {
+			inBuckets += b.Count
+		}
+		if inBuckets != hs.Count {
+			t.Fatalf("WriteJSON snapshot torn: Σ buckets=%d, count=%d", inBuckets, hs.Count)
+		}
+	}
+	wg.Wait()
 }

@@ -1,0 +1,456 @@
+package obs
+
+// Frame provenance: a per-run ledger that accounts for every transmitted
+// frame at every potential receiver. The medium assigns a FrameID to each
+// transmission; every (frame, receiver) pair then resolves to exactly one
+// terminal outcome from the closed DropReason taxonomy. The ledger enforces
+// the one-terminal-outcome rule structurally (a second resolution of the
+// same pair panics — it is always an instrumentation bug) and exposes the
+// conservation invariant the tests pin: per frame, potential receivers =
+// delivered + Σ drops (DESIGN.md §10).
+//
+// Like a Recorder, a Provenance is intentionally not synchronized: it
+// belongs to exactly one simulation kernel. Engine sweeps that want
+// provenance attach one ledger per world.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"wile/internal/sim"
+)
+
+// FrameID identifies one transmission. IDs are assigned monotonically from
+// 1 by Transmitted; the zero FrameID marks a frame that predates the
+// ledger's attachment and is ignored by Resolve.
+type FrameID uint64
+
+// ActorID identifies one transceiver registered with the ledger.
+type ActorID int32
+
+// DropReason is the terminal outcome of one (frame, receiver) pair — or,
+// for DropQueueDrop, of a frame that died transmitter-side before reaching
+// the air. The set is closed: every loss in the simulation maps to exactly
+// one of these, and a frame that is not dropped is Delivered.
+type DropReason uint8
+
+const (
+	// Delivered: the frame was decoded and accepted (or deliberately
+	// ignored by an upper layer that heard it fine — overheard traffic).
+	Delivered DropReason = iota
+	// DropCollided: another transmission overlapped above sensitivity
+	// without a 10 dB capture margin (includes the receiver's own TX).
+	DropCollided
+	// DropBelowSensitivity: the signal arrived under the receiver's
+	// sensitivity floor.
+	DropBelowSensitivity
+	// DropRadioOff: the receiver's radio was powered off (or had no
+	// receive path attached) for the frame's airtime.
+	DropRadioOff
+	// DropFCSError: the frame check sequence failed on a non-collided
+	// reception — corruption injected outside the collision model.
+	DropFCSError
+	// DropDedupFiltered: duplicate detection discarded a retransmission
+	// (MAC rx cache or core sequence dedup).
+	DropDedupFiltered
+	// DropQueueDrop: the frame died in the transmitter's queue and never
+	// reached the air (radio powered down with traffic pending). TX-side:
+	// recorded via QueueDrop, never Resolve, and outside the per-receiver
+	// conservation sum.
+	DropQueueDrop
+	// DropDecodeError: the payload failed structural or cryptographic
+	// decoding above the FCS (truncated element, missing key, bad auth).
+	DropDecodeError
+)
+
+// NumDropReasons is the size of the closed taxonomy.
+const NumDropReasons = 8
+
+// dropReasonNames renders the taxonomy in its canonical wire spelling.
+var dropReasonNames = [NumDropReasons]string{
+	"delivered", "collided", "below_sensitivity", "radio_off",
+	"fcs_error", "dedup_filtered", "queue_drop", "decode_error",
+}
+
+// dropInstantNames are the static per-reason trace-event names, so the
+// enabled trace path allocates nothing per event.
+var dropInstantNames = [NumDropReasons]string{
+	"", "drop collided", "drop below-sensitivity", "drop radio-off",
+	"drop fcs-error", "drop dedup-filtered", "drop queue-drop", "drop decode-error",
+}
+
+// String reports the canonical snake_case name used in reports and metric
+// names.
+func (r DropReason) String() string {
+	if int(r) < len(dropReasonNames) {
+		return dropReasonNames[r]
+	}
+	return fmt.Sprintf("DropReason(%d)", uint8(r))
+}
+
+// frameState tracks one in-flight frame: who sent it and which potential
+// receivers have not resolved yet. The seen bitmask (one bit per ActorID,
+// spilling to seenBig past 64 actors) is what makes double resolution a
+// detectable bug rather than a silently double-counted outcome.
+type frameState struct {
+	from    ActorID
+	pending int32
+	seen    uint64
+	seenBig []uint64
+}
+
+func (f *frameState) mark(rx ActorID) (already bool) {
+	if rx < 64 {
+		bit := uint64(1) << uint(rx)
+		already = f.seen&bit != 0
+		f.seen |= bit
+		return already
+	}
+	word, bit := int(rx)/64, uint64(1)<<(uint(rx)%64)
+	for len(f.seenBig) <= word {
+		f.seenBig = append(f.seenBig, 0)
+	}
+	already = f.seenBig[word]&bit != 0
+	f.seenBig[word] |= bit
+	return already
+}
+
+// linkKey names one (transmitter, receiver) edge of the drop report.
+type linkKey struct{ from, to ActorID }
+
+// ProvMetrics mirrors the ledger's per-reason totals into an obs.Registry
+// as wile.medium_* counters, so CLIs and examples read drop accounting from
+// the registry instead of reaching into simulator structs.
+type ProvMetrics struct {
+	Frames   *Counter
+	Outcomes [NumDropReasons]*Counter
+}
+
+// ProvMetricsFor returns the registry's shared provenance counters,
+// registering them on first use.
+func ProvMetricsFor(reg *Registry) *ProvMetrics {
+	m := &ProvMetrics{Frames: reg.Counter("wile.medium_frames")}
+	for r := 0; r < NumDropReasons; r++ {
+		name := "wile.medium_drop_" + dropReasonNames[r]
+		if DropReason(r) == Delivered {
+			name = "wile.medium_delivered"
+		}
+		m.Outcomes[r] = reg.Counter(name)
+	}
+	return m
+}
+
+// Provenance is the frame-accounting ledger. All methods must be called
+// from a single kernel goroutine; hook sites must be nil-guarded (obsguard
+// enforces this) so disabled runs stay zero-cost.
+type Provenance struct {
+	actors     []string
+	queueDrops []int64
+
+	next     FrameID
+	inflight map[FrameID]*frameState
+
+	potential int64
+	outcomes  [NumDropReasons]int64
+	links     map[linkKey]*[NumDropReasons]int64
+
+	rec        *Recorder
+	dropTracks []TrackID
+	metrics    *ProvMetrics
+}
+
+// NewProvenance returns an empty ledger.
+func NewProvenance() *Provenance {
+	return &Provenance{
+		inflight: make(map[FrameID]*frameState),
+		links:    make(map[linkKey]*[NumDropReasons]int64),
+	}
+}
+
+// Actor registers a transceiver under the given diagnostic name and returns
+// its id. The medium calls this for every attached transceiver when the
+// ledger is wired (and for late attachments).
+func (p *Provenance) Actor(name string) ActorID {
+	id := ActorID(len(p.actors))
+	p.actors = append(p.actors, name)
+	p.queueDrops = append(p.queueDrops, 0)
+	if p.rec != nil {
+		p.dropTracks = append(p.dropTracks, p.rec.Track(name+" drops"))
+	}
+	return id
+}
+
+// Actors reports how many transceivers are registered.
+func (p *Provenance) Actors() int { return len(p.actors) }
+
+// TraceTo attaches the ledger to a trace recorder: every drop becomes an
+// instant event on a per-actor "<name> drops" track. Must be wired before
+// the first drop; actors registered later get tracks as they appear.
+func (p *Provenance) TraceTo(r *Recorder) {
+	p.rec = r
+	p.dropTracks = p.dropTracks[:0]
+	if r == nil {
+		return
+	}
+	for _, name := range p.actors {
+		p.dropTracks = append(p.dropTracks, r.Track(name+" drops"))
+	}
+}
+
+// Observe mirrors the ledger's totals into the registry's wile.medium_*
+// counters (see ProvMetricsFor). Counts recorded before wiring are
+// back-filled so the registry never lags the ledger.
+func (p *Provenance) Observe(reg *Registry) {
+	p.metrics = ProvMetricsFor(reg)
+	p.metrics.Frames.Add(int64(p.next))
+	for r, n := range p.outcomes {
+		p.metrics.Outcomes[r].Add(n)
+	}
+	var queued int64
+	for _, n := range p.queueDrops {
+		queued += n
+	}
+	p.metrics.Outcomes[DropQueueDrop].Add(queued)
+}
+
+// Transmitted assigns the next FrameID to a transmission from the given
+// actor with the given number of potential receivers (every other attached
+// transceiver). A frame with no potential receivers completes immediately.
+func (p *Provenance) Transmitted(from ActorID, potential int) FrameID {
+	p.next++
+	id := p.next
+	if p.metrics != nil {
+		p.metrics.Frames.Inc()
+	}
+	p.potential += int64(potential)
+	if potential > 0 {
+		p.inflight[id] = &frameState{from: from, pending: int32(potential)}
+	}
+	return id
+}
+
+// Resolve records the terminal outcome of one (frame, receiver) pair. The
+// zero FrameID (a frame transmitted before the ledger was attached) is
+// ignored. Resolving a pair twice, resolving an unknown or completed frame,
+// or resolving with DropQueueDrop (a TX-side outcome; use QueueDrop) panics:
+// each is an instrumentation bug that would silently break conservation.
+func (p *Provenance) Resolve(frame FrameID, rx ActorID, at sim.Time, reason DropReason) {
+	if frame == 0 {
+		return
+	}
+	if reason == DropQueueDrop {
+		panic("obs: queue_drop is a TX-side outcome; record it with QueueDrop")
+	}
+	fs, ok := p.inflight[frame]
+	if !ok {
+		panic(fmt.Sprintf("obs: resolving unknown or completed frame %d at %s", frame, p.actorName(rx)))
+	}
+	if fs.mark(rx) {
+		panic(fmt.Sprintf("obs: frame %d resolved twice at %s (%s)", frame, p.actorName(rx), reason))
+	}
+	fs.pending--
+	if fs.pending == 0 {
+		delete(p.inflight, frame)
+	}
+	p.outcomes[reason]++
+	counts, ok := p.links[linkKey{fs.from, rx}]
+	if !ok {
+		counts = new([NumDropReasons]int64)
+		p.links[linkKey{fs.from, rx}] = counts
+	}
+	counts[reason]++
+	if p.metrics != nil {
+		p.metrics.Outcomes[reason].Inc()
+	}
+	if p.rec != nil && reason != Delivered && int(rx) < len(p.dropTracks) {
+		p.rec.Instant(p.dropTracks[rx], at, dropInstantNames[reason])
+	}
+}
+
+// QueueDrop records a frame that died in from's transmit queue without
+// reaching the air. It has no FrameID and no per-receiver accounting, so it
+// sits outside the conservation sum (DESIGN.md §10).
+func (p *Provenance) QueueDrop(from ActorID, at sim.Time) {
+	p.queueDrops[from]++
+	if p.metrics != nil {
+		p.metrics.Outcomes[DropQueueDrop].Inc()
+	}
+	if p.rec != nil && int(from) < len(p.dropTracks) {
+		p.rec.Instant(p.dropTracks[from], at, dropInstantNames[DropQueueDrop])
+	}
+}
+
+// Frames reports how many FrameIDs have been assigned.
+func (p *Provenance) Frames() int64 { return int64(p.next) }
+
+// Potential reports the total potential receptions over all frames.
+func (p *Provenance) Potential() int64 { return p.potential }
+
+// Pending reports how many frames still have unresolved receivers.
+func (p *Provenance) Pending() int { return len(p.inflight) }
+
+// Outcomes reports the per-reason reception totals. The DropQueueDrop slot
+// is always zero here; TX-side queue drops are reported by QueueDrops.
+func (p *Provenance) Outcomes() [NumDropReasons]int64 { return p.outcomes }
+
+// QueueDrops reports the total TX-side queue drops.
+func (p *Provenance) QueueDrops() int64 {
+	var n int64
+	for _, q := range p.queueDrops {
+		n += q
+	}
+	return n
+}
+
+// Verify checks the conservation invariant: every frame fully resolved and
+// Σ outcomes = Σ potential receivers. Call it after the scheduler drained
+// (deliveries are scheduled at each frame's end-of-airtime).
+func (p *Provenance) Verify() error {
+	if n := len(p.inflight); n != 0 {
+		return fmt.Errorf("obs: provenance: %d frames still unresolved", n)
+	}
+	var resolved int64
+	for _, n := range p.outcomes {
+		resolved += n
+	}
+	if resolved != p.potential {
+		return fmt.Errorf("obs: provenance: %d outcomes recorded for %d potential receptions", resolved, p.potential)
+	}
+	return nil
+}
+
+func (p *Provenance) actorName(id ActorID) string {
+	if int(id) < len(p.actors) {
+		return p.actors[id]
+	}
+	return fmt.Sprintf("actor#%d", id)
+}
+
+// sortedLinks reports the link keys ordered by (from name, to name), ids as
+// a tiebreak — the deterministic row order of both report formats.
+func (p *Provenance) sortedLinks() []linkKey {
+	keys := make([]linkKey, 0, len(p.links))
+	for k := range p.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if an, bn := p.actorName(a.from), p.actorName(b.from); an != bn {
+			return an < bn
+		}
+		if an, bn := p.actorName(a.to), p.actorName(b.to); an != bn {
+			return an < bn
+		}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.to < b.to
+	})
+	return keys
+}
+
+// queueDropActors reports the actors with TX-side queue drops, sorted by
+// name (ids as a tiebreak).
+func (p *Provenance) queueDropActors() []ActorID {
+	ids := make([]ActorID, 0)
+	for id, n := range p.queueDrops {
+		if n > 0 {
+			ids = append(ids, ActorID(id))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if an, bn := p.actorName(ids[i]), p.actorName(ids[j]); an != bn {
+			return an < bn
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// WriteReport renders the per-reason and per-link drop summary as a
+// fixed-width table. Output is a pure function of the ledger's state:
+// byte-identical across runs and GOMAXPROCS settings.
+func (p *Provenance) WriteReport(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("frames %d, potential receptions %d, unresolved %d\n",
+		p.next, p.potential, len(p.inflight))
+	bw.printf("outcomes:\n")
+	for r := 0; r < NumDropReasons; r++ {
+		n := p.outcomes[r]
+		if DropReason(r) == DropQueueDrop {
+			n = p.QueueDrops()
+		}
+		bw.printf("  %-18s %d\n", dropReasonNames[r], n)
+	}
+	links := p.sortedLinks()
+	if len(links) > 0 {
+		bw.printf("links:\n")
+	}
+	for _, k := range links {
+		bw.printf("  %s -> %s:", p.actorName(k.from), p.actorName(k.to))
+		counts := p.links[k]
+		for r := 0; r < NumDropReasons; r++ {
+			if counts[r] > 0 {
+				bw.printf(" %s=%d", dropReasonNames[r], counts[r])
+			}
+		}
+		bw.printf("\n")
+	}
+	if qd := p.queueDropActors(); len(qd) > 0 {
+		bw.printf("tx queue drops:\n")
+		for _, id := range qd {
+			bw.printf("  %s: %d\n", p.actorName(id), p.queueDrops[id])
+		}
+	}
+	return bw.err
+}
+
+// WriteReportJSON renders the same summary as deterministic JSON: taxonomy
+// order for the outcomes object, (from, to) name order for links.
+func (p *Provenance) WriteReportJSON(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.printf("{\n  \"frames\": %d,\n  \"potential\": %d,\n  \"unresolved\": %d,\n",
+		p.next, p.potential, len(p.inflight))
+	bw.printf("  \"outcomes\": {")
+	for r := 0; r < NumDropReasons; r++ {
+		n := p.outcomes[r]
+		if DropReason(r) == DropQueueDrop {
+			n = p.QueueDrops()
+		}
+		if r > 0 {
+			bw.printf(",")
+		}
+		bw.printf("\n    %s: %d", quote(dropReasonNames[r]), n)
+	}
+	bw.printf("\n  },\n  \"links\": [")
+	for i, k := range p.sortedLinks() {
+		if i > 0 {
+			bw.printf(",")
+		}
+		bw.printf("\n    {\"from\": %s, \"to\": %s, \"counts\": {",
+			quote(p.actorName(k.from)), quote(p.actorName(k.to)))
+		counts := p.links[k]
+		first := true
+		for r := 0; r < NumDropReasons; r++ {
+			if counts[r] == 0 {
+				continue
+			}
+			if !first {
+				bw.printf(", ")
+			}
+			first = false
+			bw.printf("%s: %d", quote(dropReasonNames[r]), counts[r])
+		}
+		bw.printf("}}")
+	}
+	bw.printf("\n  ],\n  \"queue_drops\": [")
+	for i, id := range p.queueDropActors() {
+		if i > 0 {
+			bw.printf(",")
+		}
+		bw.printf("\n    {\"actor\": %s, \"count\": %d}", quote(p.actorName(id)), p.queueDrops[id])
+	}
+	bw.printf("\n  ]\n}\n")
+	return bw.err
+}

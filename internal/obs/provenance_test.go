@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestProvenanceConservation walks a small ledger through every RX-side
+// outcome and checks the invariant Verify pins: Σ outcomes == Σ potential
+// receivers, with per-frame completion tracked exactly.
+func TestProvenanceConservation(t *testing.T) {
+	p := NewProvenance()
+	tx := p.Actor("tx")
+	rxA := p.Actor("rx-a")
+	rxB := p.Actor("rx-b")
+
+	f1 := p.Transmitted(tx, 2)
+	if f1 != 1 {
+		t.Fatalf("first frame id = %d, want 1", f1)
+	}
+	p.Resolve(f1, rxA, 10, Delivered)
+	if err := p.Verify(); err == nil {
+		t.Fatal("Verify passed with an unresolved receiver")
+	}
+	if p.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", p.Pending())
+	}
+	p.Resolve(f1, rxB, 10, DropBelowSensitivity)
+
+	f2 := p.Transmitted(tx, 2)
+	p.Resolve(f2, rxA, 20, DropCollided)
+	p.Resolve(f2, rxB, 20, DropRadioOff)
+
+	f3 := p.Transmitted(rxA, 2)
+	p.Resolve(f3, tx, 30, DropFCSError)
+	p.Resolve(f3, rxB, 30, DropDedupFiltered)
+
+	f4 := p.Transmitted(rxB, 2)
+	p.Resolve(f4, tx, 40, DropDecodeError)
+	p.Resolve(f4, rxA, 40, Delivered)
+
+	p.QueueDrop(tx, 50)
+
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got := p.Frames(); got != 4 {
+		t.Errorf("Frames = %d, want 4", got)
+	}
+	if got := p.Potential(); got != 8 {
+		t.Errorf("Potential = %d, want 8", got)
+	}
+	out := p.Outcomes()
+	var total int64
+	for _, n := range out {
+		total += n
+	}
+	if total != p.Potential() {
+		t.Errorf("Σ outcomes = %d, want %d", total, p.Potential())
+	}
+	if out[Delivered] != 2 || out[DropCollided] != 1 || out[DropQueueDrop] != 0 {
+		t.Errorf("outcomes = %v", out)
+	}
+	if got := p.QueueDrops(); got != 1 {
+		t.Errorf("QueueDrops = %d, want 1", got)
+	}
+}
+
+// TestProvenanceDoubleResolvePanics pins the one-terminal-outcome rule: a
+// second resolution of the same (frame, receiver) pair is an
+// instrumentation bug and must panic, not double-count.
+func TestProvenanceDoubleResolvePanics(t *testing.T) {
+	p := NewProvenance()
+	tx := p.Actor("tx")
+	rxA := p.Actor("rx-a")
+	p.Actor("rx-b")
+	f := p.Transmitted(tx, 2)
+	p.Resolve(f, rxA, 0, Delivered)
+
+	mustPanic(t, "double resolve", func() { p.Resolve(f, rxA, 0, DropCollided) })
+	mustPanic(t, "unknown frame", func() { p.Resolve(f+100, rxA, 0, Delivered) })
+	mustPanic(t, "queue_drop via Resolve", func() { p.Resolve(f, 2, 0, DropQueueDrop) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestProvenanceZeroFrameIgnored: frames transmitted before the ledger was
+// attached carry FrameID 0 and must be ignored, so late wiring is safe.
+func TestProvenanceZeroFrameIgnored(t *testing.T) {
+	p := NewProvenance()
+	rx := p.Actor("rx")
+	p.Resolve(0, rx, 0, Delivered)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify after zero-frame resolve: %v", err)
+	}
+}
+
+// TestProvenanceReportDeterminism builds the same ledger twice (second time
+// with actors registered in a different order) and checks that both report
+// formats are byte-identical per ledger state and sorted by actor name.
+func TestProvenanceReportDeterminism(t *testing.T) {
+	build := func() *Provenance {
+		p := NewProvenance()
+		tx := p.Actor("zeta")
+		rx := p.Actor("alpha")
+		f := p.Transmitted(tx, 1)
+		p.Resolve(f, rx, 0, DropCollided)
+		g := p.Transmitted(rx, 1)
+		p.Resolve(g, tx, 5, Delivered)
+		p.QueueDrop(tx, 9)
+		return p
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteReport(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("text report not deterministic:\n%s\n---\n%s", a.String(), b.String())
+	}
+	// alpha -> zeta sorts before zeta -> alpha.
+	txt := a.String()
+	if !strings.Contains(txt, "alpha -> zeta: delivered=1") {
+		t.Errorf("report missing sorted link rows:\n%s", txt)
+	}
+	if strings.Index(txt, "alpha -> zeta") > strings.Index(txt, "zeta -> alpha") {
+		t.Errorf("links not sorted by name:\n%s", txt)
+	}
+
+	var j bytes.Buffer
+	if err := build().WriteReportJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Frames     int64            `json:"frames"`
+		Potential  int64            `json:"potential"`
+		Unresolved int64            `json:"unresolved"`
+		Outcomes   map[string]int64 `json:"outcomes"`
+		Links      []struct {
+			From   string           `json:"from"`
+			To     string           `json:"to"`
+			Counts map[string]int64 `json:"counts"`
+		} `json:"links"`
+		QueueDrops []struct {
+			Actor string `json:"actor"`
+			Count int64  `json:"count"`
+		} `json:"queue_drops"`
+	}
+	if err := json.Unmarshal(j.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, j.String())
+	}
+	if doc.Frames != 2 || doc.Potential != 2 || doc.Unresolved != 0 {
+		t.Errorf("JSON header = %+v", doc)
+	}
+	if len(doc.Outcomes) != NumDropReasons {
+		t.Errorf("outcomes object has %d keys, want the closed set of %d", len(doc.Outcomes), NumDropReasons)
+	}
+	if doc.Outcomes["collided"] != 1 || doc.Outcomes["queue_drop"] != 1 {
+		t.Errorf("outcomes = %v", doc.Outcomes)
+	}
+	if len(doc.Links) != 2 || doc.Links[0].From != "alpha" {
+		t.Errorf("links = %+v", doc.Links)
+	}
+	if len(doc.QueueDrops) != 1 || doc.QueueDrops[0].Actor != "zeta" {
+		t.Errorf("queue_drops = %+v", doc.QueueDrops)
+	}
+}
+
+// TestProvenanceObserve checks the registry mirror, including the back-fill
+// of counts recorded before Observe was wired.
+func TestProvenanceObserve(t *testing.T) {
+	p := NewProvenance()
+	tx := p.Actor("tx")
+	rx := p.Actor("rx")
+	f := p.Transmitted(tx, 1)
+	p.Resolve(f, rx, 0, DropCollided)
+	p.QueueDrop(tx, 0)
+
+	reg := NewRegistry()
+	p.Observe(reg)
+
+	g := p.Transmitted(tx, 1)
+	p.Resolve(g, rx, 1, Delivered)
+
+	for name, want := range map[string]int64{
+		"wile.medium_frames":          2,
+		"wile.medium_delivered":       1,
+		"wile.medium_drop_collided":   1,
+		"wile.medium_drop_queue_drop": 1,
+		"wile.medium_drop_radio_off":  0,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestProvenanceTraceInstants checks that drops (and only drops) land as
+// instant events on per-actor tracks.
+func TestProvenanceTraceInstants(t *testing.T) {
+	p := NewProvenance()
+	tx := p.Actor("tx")
+	rx := p.Actor("rx")
+	rec := NewRecorder()
+	p.TraceTo(rec)
+	if rec.Tracks() != 2 {
+		t.Fatalf("TraceTo registered %d tracks, want 2", rec.Tracks())
+	}
+
+	f := p.Transmitted(tx, 1)
+	p.Resolve(f, rx, 100, Delivered) // delivered: no instant
+	g := p.Transmitted(tx, 1)
+	p.Resolve(g, rx, 200, DropCollided)
+	p.QueueDrop(tx, 300)
+
+	late := p.Actor("late") // actors registered after TraceTo get tracks too
+	if rec.Tracks() != 3 {
+		t.Fatalf("late actor got no track (have %d)", rec.Tracks())
+	}
+	h := p.Transmitted(tx, 2)
+	p.Resolve(h, rx, 400, Delivered)
+	p.Resolve(h, late, 400, DropRadioOff)
+
+	if rec.Len() != 3 {
+		t.Fatalf("recorded %d events, want 3 (collided, queue-drop, radio-off)", rec.Len())
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"drop collided", "drop queue-drop", "drop radio-off", `"rx drops"`, `"late drops"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `"delivered"`) {
+		t.Errorf("delivered outcomes must not emit instants:\n%s", out)
+	}
+}
+
+// TestProvenanceManyActors exercises the >64-actor bitmask spill.
+func TestProvenanceManyActors(t *testing.T) {
+	p := NewProvenance()
+	const n = 130
+	ids := make([]ActorID, n)
+	for i := range ids {
+		ids[i] = p.Actor("a")
+	}
+	f := p.Transmitted(ids[0], n-1)
+	for _, rx := range ids[1:] {
+		p.Resolve(f, rx, 0, Delivered)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	mustPanic(t, "double resolve past word 0", func() { p.Resolve(f, ids[n-1], 0, Delivered) })
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"wile/internal/sim"
+)
+
+// TestTimeSeriesSampling runs a series over a live registry inside a
+// scheduler and checks the cadence, the per-kind lanes and the CSV shape.
+func TestTimeSeriesSampling(t *testing.T) {
+	sched := sim.New()
+	reg := NewRegistry()
+	c := reg.Counter("tx")
+	g := reg.Gauge("depth")
+	h := reg.Histogram("lat", []float64{1})
+
+	ts := NewTimeSeries(reg, NewMemorySink(), 10*time.Millisecond)
+	// Drive the metrics from the kernel so samples see evolving values.
+	for i := 1; i <= 4; i++ {
+		i := i
+		sched.DoAfter(time.Duration(i)*10*time.Millisecond-time.Millisecond, func() {
+			c.Inc()
+			g.Set(float64(i))
+			h.Observe(float64(i))
+		})
+	}
+	ts.Run(sched)
+	sched.RunUntil(sim.FromDuration(45 * time.Millisecond))
+	ts.Stop()
+
+	// Samples at 0,10,20,30,40 ms over 4 lanes (tx, depth, lat.count,
+	// lat.sum) = 20 points.
+	if ts.Len() != 20 {
+		t.Fatalf("recorded %d points, want 20", ts.Len())
+	}
+	var buf bytes.Buffer
+	if err := ts.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "time_us,series,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 21 {
+		t.Fatalf("CSV has %d rows, want 21", len(lines))
+	}
+	for _, want := range []string{
+		"0.000,depth,0",
+		"0.000,lat.count,0",
+		"0.000,lat.sum,0",
+		"0.000,tx,0",
+		"10000.000,tx,1",
+		"40000.000,tx,4",
+		"40000.000,depth,4",
+		"40000.000,lat.count,4",
+		"40000.000,lat.sum,10",
+	} {
+		if !strings.Contains(buf.String(), want+"\n") {
+			t.Errorf("CSV missing row %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestTimeSeriesStopsSampling: Stop must end the self-rescheduling chain.
+func TestTimeSeriesStopsSampling(t *testing.T) {
+	sched := sim.New()
+	reg := NewRegistry()
+	reg.Counter("tx")
+	ts := NewTimeSeries(reg, NewMemorySink(), 10*time.Millisecond)
+	ts.Run(sched)
+	sched.DoAfter(25*time.Millisecond, ts.Stop)
+	sched.RunUntil(sim.FromDuration(100 * time.Millisecond))
+	if ts.Len() != 3 {
+		t.Fatalf("recorded %d points after Stop, want 3 (0,10,20 ms)", ts.Len())
+	}
+}
+
+// TestTimeSeriesSpillEquivalence pins the byte-identity contract: the same
+// sampled series exports identical CSV and Chrome JSON whether it buffered
+// in memory or spilled through a temp file.
+func TestTimeSeriesSpillEquivalence(t *testing.T) {
+	run := func(sink Sink) (*TimeSeries, string, string) {
+		sched := sim.New()
+		reg := NewRegistry()
+		c := reg.Counter("tx")
+		ts := NewTimeSeries(reg, sink, time.Millisecond)
+		sched.DoAfter(500*time.Microsecond, func() {
+			for i := 0; i < 2000; i++ {
+				c.Inc()
+			}
+		})
+		ts.Run(sched)
+		sched.RunUntil(sim.FromDuration(5 * time.Millisecond))
+		var csv, chrome bytes.Buffer
+		if err := ts.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if err := ts.WriteChromeTrace(&chrome); err != nil {
+			t.Fatal(err)
+		}
+		return ts, csv.String(), chrome.String()
+	}
+	_, memCSV, memChrome := run(NewMemorySink())
+	spill, err := NewSpillSink("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spill.Close()
+	_, spillCSV, spillChrome := run(spill)
+	if memCSV != spillCSV {
+		t.Errorf("CSV differs between memory and spill sinks:\n%s\n---\n%s", memCSV, spillCSV)
+	}
+	if memChrome != spillChrome {
+		t.Errorf("Chrome trace differs between memory and spill sinks")
+	}
+	if !strings.Contains(memChrome, `"ph":"C"`) {
+		t.Errorf("Chrome export carries no counter events:\n%s", memChrome)
+	}
+}
+
+// TestTimeSeriesLateMetric: metrics registered mid-run join at the next
+// sample without disturbing earlier lanes.
+func TestTimeSeriesLateMetric(t *testing.T) {
+	sched := sim.New()
+	reg := NewRegistry()
+	reg.Counter("early")
+	ts := NewTimeSeries(reg, NewMemorySink(), 10*time.Millisecond)
+	sched.DoAfter(15*time.Millisecond, func() { reg.Counter("late").Add(7) })
+	ts.Run(sched)
+	sched.RunUntil(sim.FromDuration(25 * time.Millisecond))
+	ts.Stop()
+	var buf bytes.Buffer
+	if err := ts.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "\n0.000,late") || strings.Contains(out, "\n10000.000,late") {
+		t.Errorf("late metric sampled before registration:\n%s", out)
+	}
+	if !strings.Contains(out, "20000.000,late,7\n") {
+		t.Errorf("late metric missing from the 20 ms sample:\n%s", out)
+	}
+}

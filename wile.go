@@ -134,12 +134,48 @@ type (
 	Registry = obs.Registry
 	// MetricsCounter is one monotonically increasing registry counter.
 	MetricsCounter = obs.Counter
+	// Provenance is the frame ledger: wire it into a Medium with
+	// ObserveProvenance and every transmitted frame resolves to exactly one
+	// outcome per potential receiver — delivered, or a reason from the
+	// closed drop taxonomy. WriteReport/WriteReportJSON summarize it per
+	// reason and per link.
+	Provenance = obs.Provenance
+	// DropReason is one terminal outcome from the frame-drop taxonomy.
+	DropReason = obs.DropReason
+	// TimeSeries samples a Registry on a sim-time cadence, turning final
+	// counter values into timelines (WriteCSV / WriteChromeTrace).
+	TimeSeries = obs.TimeSeries
+)
+
+// The closed drop-reason taxonomy (see DESIGN.md §10).
+const (
+	Delivered            = obs.Delivered
+	DropCollided         = obs.DropCollided
+	DropBelowSensitivity = obs.DropBelowSensitivity
+	DropRadioOff         = obs.DropRadioOff
+	DropFCSError         = obs.DropFCSError
+	DropDedupFiltered    = obs.DropDedupFiltered
+	DropQueueDrop        = obs.DropQueueDrop
+	DropDecodeError      = obs.DropDecodeError
 )
 
 // NewRegistry builds an empty metrics registry. Pass it to each component's
 // Observe method; delivery and duplicate rates then come from one snapshot
 // instead of per-component ad-hoc counters.
 func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewProvenance builds an empty frame ledger. Attach it with
+// med.ObserveProvenance(p) before traffic starts; p.Verify() then checks
+// the conservation invariant and p.WriteReport breaks every loss down by
+// reason and link.
+func NewProvenance() *Provenance { return obs.NewProvenance() }
+
+// NewTimeSeries builds an in-memory sampler over reg on the given sim-time
+// cadence (≤0 selects the 10 ms default). Call Run(sched) before the
+// simulation starts and WriteCSV after it ends.
+func NewTimeSeries(reg *Registry, cadence time.Duration) *TimeSeries {
+	return obs.NewTimeSeries(reg, obs.NewMemorySink(), cadence)
+}
 
 // NewSensor builds a sleeping sensor attached to the medium.
 func NewSensor(sched *Scheduler, med *Medium, cfg SensorConfig) *Sensor {
