@@ -180,6 +180,7 @@ func fig3(out, name string, runner func(*experiment.Obs) (*experiment.Trace, err
 	if err := writeFile(path, tr.WriteCSV); err != nil {
 		return err
 	}
+	tr.Release()
 	fmt.Println("trace written to", path)
 	if traceTimelines {
 		path := filepath.Join(out, name+"_timeline.json")

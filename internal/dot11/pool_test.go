@@ -109,6 +109,9 @@ func TestDecodeReleaseRecyclesCorrectly(t *testing.T) {
 }
 
 func TestDecodeAfterReleaseAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops random Puts under the race detector; steady-state alloc counts are nondeterministic")
+	}
 	raw, err := Marshal(testBeacon(3, 0x42))
 	if err != nil {
 		t.Fatal(err)

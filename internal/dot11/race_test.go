@@ -1,0 +1,9 @@
+//go:build race
+
+package dot11
+
+// raceEnabled gates steady-state allocation assertions: the race-enabled
+// runtime intentionally drops a random fraction of sync.Pool Puts to
+// surface data races, so pool-backed paths are not allocation-free under
+// the race detector.
+const raceEnabled = true

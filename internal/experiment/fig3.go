@@ -100,6 +100,15 @@ type Trace struct {
 	Window time.Duration
 }
 
+// Release returns the trace's sample buffer to the shared meter pool so a
+// following figure run can reuse it instead of allocating another
+// 100k-sample slice. The trace (and any slice of its Samples) must not be
+// used afterwards.
+func (t *Trace) Release() {
+	meter.RecycleSamples(t.Samples)
+	t.Samples = nil
+}
+
 // preSleep is the deep-sleep lead-in both Figure 3 traces start with.
 const preSleep = 200 * time.Millisecond
 

@@ -2,11 +2,21 @@
 // Keysight 34465A digital multimeter in series with the device's 3.3 V
 // supply, sampling current 50,000 times per second. Figures 3a/3b are this
 // sampler's output; Table 1's energies are integrals of it.
+//
+// The sampled waveform is piecewise constant — only discrete events change
+// the device's current draw — so the meter records plateaus (start, sample
+// count, value) rather than individual readings and rides the scheduler's
+// Ticker batch path: a 2-second 50 kS/s window costs a handful of plateau
+// appends instead of 100k event dispatches. The exported per-sample trace
+// is materialized lazily (at Stop or first access) and is sample-for-sample
+// identical to per-sample stepping, pinned by the Figure-3b golden and the
+// equivalence property tests.
 package meter
 
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"wile/internal/obs"
@@ -28,16 +38,32 @@ type Sample struct {
 	Current units.Amps
 }
 
+// plateau is a run of consecutive samples with identical value: n readings
+// of val at from, from+period, ..., from+(n-1)*period.
+type plateau struct {
+	from sim.Time
+	n    int64
+	val  units.Amps
+}
+
 // Meter samples a probe at a fixed rate on the simulation clock.
 type Meter struct {
 	sched *sim.Scheduler
 	probe Probe
-	// Samples accumulates readings while running.
+	// Samples holds the materialized per-sample trace. While running, the
+	// meter accumulates plateaus instead; Stop (or any accessor) expands
+	// them here. Meters built as literals around an existing Samples slice
+	// keep working: with no recorded plateaus nothing is rebuilt.
 	Samples []Sample
 
 	period  time.Duration
 	running bool
-	tick    *sim.Event
+	ticker  *sim.Ticker
+
+	// plateaus is the compact waveform; dirty marks Samples as stale
+	// relative to it.
+	plateaus []plateau
+	dirty    bool
 
 	// rec/track carry the optional trace recorder (TraceTo). lastTraced
 	// dedups the counter feed: the waveform is piecewise-constant, so one
@@ -56,6 +82,32 @@ func New(sched *sim.Scheduler, probe Probe, rate int) *Meter {
 	return &Meter{sched: sched, probe: probe, period: time.Second / time.Duration(rate)}
 }
 
+// samplePool recycles materialized trace buffers across runs; experiment
+// benchmarks and engine sweeps return finished traces through
+// RecycleSamples so back-to-back figure runs reuse one 100k-sample buffer.
+var samplePool sync.Pool
+
+// acquireSamples returns an empty sample buffer with at least the given
+// capacity, reusing a pooled buffer when one is large enough.
+func acquireSamples(capacity int) []Sample {
+	if v := samplePool.Get(); v != nil {
+		s := v.([]Sample)
+		if cap(s) >= capacity {
+			return s[:0]
+		}
+	}
+	return make([]Sample, 0, capacity)
+}
+
+// RecycleSamples returns a sample buffer to the shared pool for reuse by a
+// later Reserve. The caller must not use the slice afterwards. Small
+// buffers are dropped: pooling only pays for figure-scale traces.
+func RecycleSamples(s []Sample) {
+	if cap(s) >= 4096 {
+		samplePool.Put(s[:0]) //nolint — slice header boxing is once per run
+	}
+}
+
 // Reserve preallocates Samples capacity for a trace of the given
 // duration at the meter's sample rate. A 2-second Figure-3 window at the
 // default 50 kS/s is 100k samples; reserving once replaces the ~17
@@ -68,7 +120,8 @@ func (m *Meter) Reserve(window time.Duration) {
 	if cap(m.Samples)-len(m.Samples) >= need {
 		return
 	}
-	grown := make([]Sample, len(m.Samples), len(m.Samples)+need)
+	grown := acquireSamples(len(m.Samples) + need)
+	grown = grown[:len(m.Samples)]
 	copy(grown, m.Samples)
 	m.Samples = grown
 }
@@ -79,7 +132,9 @@ func (m *Meter) Start() {
 		return
 	}
 	m.running = true
-	m.sample()
+	m.observe(m.sched.Now(), 1)
+	m.ticker = m.sched.Tick(m.sched.Now().Add(m.period), m.period, m.fire)
+	m.ticker.SetBatch(m.batch)
 }
 
 // TraceTo attaches the meter to a trace recorder: readings feed the given
@@ -91,32 +146,79 @@ func (m *Meter) TraceTo(r *obs.Recorder, track obs.TrackID) {
 	m.lastTraced = units.Amps(-1) // force the first sample through
 }
 
-func (m *Meter) sample() {
-	if !m.running {
-		return
-	}
+func (m *Meter) fire(at sim.Time) { m.observe(at, 1) }
+
+func (m *Meter) batch(from sim.Time, n int) { m.observe(from, int64(n)) }
+
+// observe records n consecutive samples starting at from. All n share one
+// probe reading: current only changes when an event fires, and the
+// scheduler never extends a ticker batch across an event.
+func (m *Meter) observe(from sim.Time, n int64) {
 	a := m.probe.Current()
-	m.Samples = append(m.Samples, Sample{At: m.sched.Now(), Current: a})
+	m.dirty = true
 	if m.rec != nil && a != m.lastTraced {
 		m.lastTraced = a
-		m.rec.Counter(m.track, m.sched.Now(), a.Milli())
+		m.rec.Counter(m.track, from, a.Milli())
 	}
-	m.tick = m.sched.After(m.period, m.sample)
+	if k := len(m.plateaus); k > 0 {
+		last := &m.plateaus[k-1]
+		if last.val == a && last.from+sim.Time(last.n*int64(m.period)) == from {
+			last.n += n
+			return
+		}
+	}
+	m.plateaus = append(m.plateaus, plateau{from: from, n: n, val: a})
 }
 
-// Stop halts sampling.
+// Stop halts sampling and materializes the per-sample trace.
 func (m *Meter) Stop() {
 	m.running = false
-	if m.tick != nil {
-		m.sched.Cancel(m.tick)
-		m.tick = nil
+	if m.ticker != nil {
+		m.ticker.Stop()
+		m.ticker = nil
+	}
+	m.materialize()
+}
+
+// materialize expands the recorded plateaus into the public Samples slice,
+// exactly as the per-sample stepper would have appended them.
+func (m *Meter) materialize() {
+	if !m.dirty {
+		return
+	}
+	m.dirty = false
+	m.Samples = m.Samples[:0]
+	p := sim.Time(m.period)
+	for _, pl := range m.plateaus {
+		at := pl.from
+		for j := int64(0); j < pl.n; j++ {
+			m.Samples = append(m.Samples, Sample{At: at, Current: pl.val})
+			at += p
+		}
 	}
 }
 
 // Charge integrates the sampled current between t0 and t1 using the
 // rectangle rule (each sample holds until the next) — the same numeric
-// integration a bench engineer applies to exported multimeter data.
+// integration a bench engineer applies to exported multimeter data. With a
+// plateau record available the interior of each plateau is integrated in
+// closed form (one multiply per plateau instead of one per sample); only
+// samples clipped by t0/t1 or holding across a plateau boundary are
+// handled individually.
 func (m *Meter) Charge(t0, t1 sim.Time) units.Coulombs {
+	if len(m.plateaus) > 0 && m.dirty {
+		// Stale Samples would disagree with the recorded waveform.
+		m.materialize()
+	}
+	if len(m.plateaus) > 0 {
+		return m.chargePlateaus(t0, t1)
+	}
+	return m.chargeSamples(t0, t1)
+}
+
+// chargeSamples is the per-sample rectangle rule over the materialized (or
+// literal) trace.
+func (m *Meter) chargeSamples(t0, t1 sim.Time) units.Coulombs {
 	var total units.Coulombs
 	for i, s := range m.Samples {
 		if s.At >= t1 {
@@ -137,6 +239,79 @@ func (m *Meter) Charge(t0, t1 sim.Time) units.Coulombs {
 	return total
 }
 
+// chargePlateaus integrates the plateau record directly. Sample j of a
+// plateau holds for one period (interior) or until the next plateau's first
+// sample (last), identical to the hold rule in chargeSamples.
+func (m *Meter) chargePlateaus(t0, t1 sim.Time) units.Coulombs {
+	var total units.Coulombs
+	// Index arithmetic runs on raw nanosecond counts: sample j of a plateau
+	// sits at from + j*period, a Time again only after the multiply.
+	perNs := int64(m.period)
+	for i, pl := range m.plateaus {
+		if pl.from >= t1 {
+			break
+		}
+		// Hold boundary for the plateau's last sample: the next plateau's
+		// first sample, or the end of the integration window.
+		lastEnd := t1
+		if i+1 < len(m.plateaus) && m.plateaus[i+1].from < t1 {
+			lastEnd = m.plateaus[i+1].from
+		}
+		addSample := func(j int64) {
+			at := pl.from + sim.Time(j*perNs)
+			if at >= t1 {
+				return
+			}
+			end := at + sim.Time(perNs)
+			if j == pl.n-1 {
+				end = lastEnd
+			}
+			if end > t1 {
+				end = t1
+			}
+			start := at
+			if start < t0 {
+				start = t0
+			}
+			if end > start {
+				total += units.Charge(pl.val, end.Sub(start))
+			}
+		}
+		// j0: the sample whose interval contains t0 (0 when the plateau
+		// starts inside the window).
+		j0 := int64(0)
+		if t0 > pl.from {
+			j0 = int64(t0-pl.from) / perNs
+			if j0 > pl.n-1 {
+				j0 = pl.n - 1
+			}
+		}
+		// Interior samples in [jf0, jf1) are fully inside [t0, t1] and
+		// hold exactly one period each: integrate them in one step.
+		jf0 := j0
+		if pl.from+sim.Time(j0*perNs) < t0 {
+			jf0 = j0 + 1
+		}
+		jf1 := pl.n - 1
+		if limit := int64(t1-pl.from) / perNs; limit < jf1 {
+			jf1 = limit
+		}
+		if jf1 > jf0 {
+			total += units.Charge(pl.val, time.Duration(jf1-jf0)*m.period)
+		}
+		// Boundary samples: the t0 straddler and the t1-clipped interior
+		// sample (at most one each), then the plateau's last sample.
+		if j0 < jf0 && j0 < pl.n-1 {
+			addSample(j0)
+		}
+		if jf1 >= jf0 && jf1 < pl.n-1 {
+			addSample(jf1)
+		}
+		addSample(pl.n - 1)
+	}
+	return total
+}
+
 // Energy integrates energy between t0 and t1 at the rail voltage v.
 func (m *Meter) Energy(t0, t1 sim.Time, v units.Volts) units.Joules {
 	return m.Charge(t0, t1).Energy(v)
@@ -152,6 +327,7 @@ func (m *Meter) MeanCurrent(t0, t1 sim.Time) units.Amps {
 
 // PeakCurrent reports the largest sample between t0 and t1.
 func (m *Meter) PeakCurrent(t0, t1 sim.Time) units.Amps {
+	m.materialize()
 	var peak units.Amps
 	for _, s := range m.Samples {
 		if s.At >= t0 && s.At < t1 && s.Current > peak {
@@ -171,6 +347,7 @@ type Annotation struct {
 // comment lines for each annotation — the format the repository's plotting
 // scripts (and any spreadsheet) consume to redraw Figures 3a/3b.
 func (m *Meter) WriteCSV(w io.Writer, annotations []Annotation) error {
+	m.materialize()
 	for _, a := range annotations {
 		if _, err := fmt.Fprintf(w, "# %s at %.6f s\n", a.Label, a.At.Seconds()); err != nil {
 			return err
@@ -190,6 +367,7 @@ func (m *Meter) WriteCSV(w io.Writer, annotations []Annotation) error {
 // Downsample returns every nth sample — handy for plotting 2-second traces
 // without 100k points.
 func (m *Meter) Downsample(n int) []Sample {
+	m.materialize()
 	if n <= 1 {
 		return m.Samples
 	}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package sim
+
+// raceEnabled gates steady-state allocation assertions; see race_test.go.
+const raceEnabled = false

@@ -12,6 +12,10 @@
 // its reference Benchmark<X> from the same run (obs_pairs, with the
 // allocation delta the disabled path added), and -baseline diffs the whole
 // run against a previously recorded baseline file (deltas_vs_baseline).
+//
+// `benchjson -compare old.json new.json` renders the per-lane delta
+// between two recorded baselines as a markdown table — CI appends it to
+// the GitHub step summary so benchmark movement is visible on every run.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -88,7 +93,19 @@ func main() {
 	baseline := flag.String("baseline", "", "previous baseline JSON to diff ns/op and allocs/op against")
 	gate := flag.Bool("gate", false, "exit nonzero when the diff against -baseline regresses (ns/op beyond -gate-threshold, or any allocs/op increase)")
 	gateThreshold := flag.Float64("gate-threshold", 25, "ns/op regression percentage the -gate tolerates")
+	compare := flag.Bool("compare", false, "compare two baseline JSON files (old new) and print a per-lane markdown delta table to stdout")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare takes exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *gate && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
 		os.Exit(2)
@@ -105,6 +122,92 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// loadBaseline reads and parses one baseline JSON document.
+func loadBaseline(path string) (Baseline, error) {
+	var doc Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// runCompare prints a per-lane markdown delta table between two baseline
+// documents — the format CI appends to the GitHub step summary. Lanes
+// present in only one file are listed after the table so a silently
+// dropped benchmark is visible in review.
+func runCompare(w io.Writer, oldPath, newPath string) error {
+	oldDoc, err := loadBaseline(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadBaseline(newPath)
+	if err != nil {
+		return err
+	}
+	old := make(map[string]Benchmark, len(oldDoc.Benchmarks))
+	for _, b := range oldDoc.Benchmarks {
+		old[b.Name] = b
+	}
+	cur := make(map[string]Benchmark, len(newDoc.Benchmarks))
+	for _, b := range newDoc.Benchmarks {
+		cur[b.Name] = b
+	}
+
+	fmt.Fprintf(w, "### Benchmark delta: %s → %s\n\n", oldPath, newPath)
+	fmt.Fprintln(w, "| benchmark | old ns/op | new ns/op | Δ ns/op | old allocs/op | new allocs/op | Δ allocs |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|")
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := old[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, n := old[name], cur[name]
+		nsDelta := "n/a"
+		if o.NsPerOp > 0 {
+			nsDelta = fmt.Sprintf("%+.1f%%", (n.NsPerOp-o.NsPerOp)/o.NsPerOp*100)
+		}
+		oldAllocs, newAllocs, allocDelta := "-", "-", "-"
+		if o.AllocsPerOp != nil {
+			oldAllocs = fmt.Sprintf("%.0f", *o.AllocsPerOp)
+		}
+		if n.AllocsPerOp != nil {
+			newAllocs = fmt.Sprintf("%.0f", *n.AllocsPerOp)
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			allocDelta = fmt.Sprintf("%+.0f", *n.AllocsPerOp-*o.AllocsPerOp)
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %s | %s | %s | %s |\n",
+			name, o.NsPerOp, n.NsPerOp, nsDelta, oldAllocs, newAllocs, allocDelta)
+	}
+	var added, removed []string
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	for name := range old {
+		if _, ok := cur[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	if len(added) > 0 {
+		fmt.Fprintf(w, "\nNew lanes: %s\n", strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		fmt.Fprintf(w, "\nRemoved lanes: %s\n", strings.Join(removed, ", "))
+	}
+	return nil
 }
 
 // checkGate re-reads the just-written output document and reports every
