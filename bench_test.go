@@ -16,6 +16,7 @@ package wile_test
 //	BenchmarkClaimsJoinFrameCount          mac-frames, hl-frames
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
@@ -532,6 +533,37 @@ func BenchmarkDropReport(b *testing.B) {
 		if err := prov.WriteReportJSON(io.Discard); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMediumDense drives the culled, gridded medium at beacon
+// densities the all-pairs walk could not touch: n beaconing devices in a
+// 300 m square sharing one channel for half a simulated second. ns/op here
+// is the cost of the city-scale channel model itself — receiver culling,
+// grid queries, incremental busy-tracking and the amortized prune all sit
+// on this path.
+func BenchmarkMediumDense(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		b.Run(fmt.Sprintf("devices=%d", n), func(b *testing.B) {
+			cfg := experiment.DefaultDensityConfig()
+			cfg.Devices = []int{n}
+			cfg.Side = 300
+			cfg.Window = 500 * time.Millisecond
+			prev := experiment.SetPool(engine.Serial())
+			defer experiment.SetPool(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var pts []experiment.DensityPoint
+			for i := 0; i < b.N; i++ {
+				var err error
+				pts, err = experiment.RunDensitySweep(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pts[0].CollisionRate*100, "collision-%")
+			b.ReportMetric(float64(pts[0].Transmissions)/b.Elapsed().Seconds()*float64(b.N), "tx/s")
+		})
 	}
 }
 

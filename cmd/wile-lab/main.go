@@ -9,7 +9,11 @@
 //	wile-lab fig4                 # average power vs interval (ASCII + CSV)
 //	wile-lab claims               # §3.1 frame counts
 //	wile-lab ablations            # bitrate/payload/listen-interval/jitter/SSID
-//	wile-lab all                  # everything
+//	wile-lab density              # beacon collision/delivery vs device count
+//	wile-lab all                  # everything except the density sweep
+//
+// The density sweep scales to 100k+ beaconing devices; -devices overrides
+// the default population list (comma-separated counts).
 //
 // CSVs land in the directory named by -out (default "results").
 // -metrics writes a JSON snapshot of the run's counters, gauges and
@@ -28,6 +32,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"wile/internal/battery"
@@ -43,6 +49,7 @@ func main() {
 	metrics := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
 	trace := flag.Bool("trace", false, "also write Chrome trace-event JSON timelines for fig3a/fig3b")
 	series := flag.Bool("series", false, "also write sim-time metric timelines (CSV) for fig3a/fig3b")
+	devices := flag.String("devices", "", "density sweep population sizes (comma-separated, e.g. 1000,10000,100000)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -56,6 +63,7 @@ func main() {
 	}
 	traceTimelines = *trace
 	seriesTimelines = *series
+	densityDevices = *devices
 	if err := run(flag.Arg(0), *out); err != nil {
 		fmt.Fprintln(os.Stderr, "wile-lab:", err)
 		os.Exit(1)
@@ -70,12 +78,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wile-lab [-out dir] [-metrics file] [-trace] [-series] {table1|fig3a|fig3b|fig4|claims|joincap|ablations|all}")
+	fmt.Fprintln(os.Stderr, "usage: wile-lab [-out dir] [-metrics file] [-trace] [-series] [-devices list] {table1|fig3a|fig3b|fig4|claims|joincap|ablations|density|all}")
 }
 
 // traceTimelines and seriesTimelines mirror the -trace and -series flags
-// for the fig3 runs.
+// for the fig3 runs; densityDevices mirrors -devices for the density sweep.
 var traceTimelines, seriesTimelines bool
+var densityDevices string
 
 func run(cmd, out string) error {
 	switch cmd {
@@ -93,6 +102,8 @@ func run(cmd, out string) error {
 		return joincap(out)
 	case "ablations":
 		return ablations()
+	case "density":
+		return density(out)
 	case "all":
 		for _, step := range []func() error{
 			table1,
@@ -135,6 +146,37 @@ func joincap(out string) error {
 		}
 	}
 	fmt.Printf("%d frames written to %s (inspect with wile-dump)\n", len(packets), path)
+	return nil
+}
+
+// density runs the city-scale beacon density sweep (DESIGN.md §12,
+// EXPERIMENTS.md): collision rate and delivery probability vs device count.
+func density(out string) error {
+	cfg := experiment.DefaultDensityConfig()
+	if densityDevices != "" {
+		cfg.Devices = nil
+		for _, field := range strings.Split(densityDevices, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -devices entry %q (want positive counts)", field)
+			}
+			cfg.Devices = append(cfg.Devices, n)
+		}
+	}
+	fmt.Printf("Density sweep: %d-byte beacons at %v every %v, %gx%g m field, %v window\n",
+		cfg.Payload, cfg.Rate, cfg.Period, cfg.Side, cfg.Side, cfg.Window)
+	start := time.Now()
+	points, err := experiment.RunDensitySweep(cfg)
+	if err != nil {
+		return err
+	}
+	experiment.RenderDensity(os.Stdout, points)
+	fmt.Printf("swept %d points in %v\n", len(points), time.Since(start).Round(time.Millisecond))
+	path := filepath.Join(out, "density.csv")
+	if err := writeFile(path, func(w io.Writer) error { return experiment.WriteDensityCSV(w, points) }); err != nil {
+		return err
+	}
+	fmt.Println("sweep written to", path)
 	return nil
 }
 

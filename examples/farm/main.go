@@ -81,7 +81,7 @@ func main() {
 		if row%2 == 1 {
 			x = 49 - x
 		}
-		phone.Port.Transceiver().Pos = wile.Position{X: x, Y: float64(row) * 10}
+		phone.Port.Transceiver().SetPos(wile.Position{X: x, Y: float64(row) * 10})
 	}
 	var step func()
 	step = func() {

@@ -59,9 +59,13 @@ func TestDropScenarioConservation(t *testing.T) {
 			t.Errorf("scenario produced no %v outcome", reason)
 		}
 	}
-	// Every reception the medium handed to a MAC resolved at a decode
-	// layer; the decode-side outcomes must re-add to the delivery count.
-	decodeSide := out[obs.Delivered] + out[obs.DropCollided] + out[obs.DropFCSError] +
+	// Stats, the registry mirror and the taxonomy must tell one story:
+	// collided receptions count only as collisions, and every clean
+	// reception the medium handed to a MAC resolved at a decode layer.
+	if got := int64(res.Stats.Collisions); got != out[obs.DropCollided] {
+		t.Errorf("Stats.Collisions = %d, want DropCollided = %d", got, out[obs.DropCollided])
+	}
+	decodeSide := out[obs.Delivered] + out[obs.DropFCSError] +
 		out[obs.DropDedupFiltered] + out[obs.DropDecodeError]
 	if decodeSide != int64(res.Stats.Deliveries) {
 		t.Errorf("decode-side outcomes = %d, want Stats.Deliveries = %d", decodeSide, res.Stats.Deliveries)
@@ -100,6 +104,12 @@ func TestDropScenarioRegistryMirror(t *testing.T) {
 	}
 	if got := reg.Counter("wile.medium_transmissions").Value(); got != int64(res.Stats.Transmissions) {
 		t.Errorf("wile.medium_transmissions = %d, want %d", got, res.Stats.Transmissions)
+	}
+	if got := reg.Counter("wile.medium_deliveries").Value(); got != int64(res.Stats.Deliveries) {
+		t.Errorf("wile.medium_deliveries = %d, want %d", got, res.Stats.Deliveries)
+	}
+	if got := reg.Counter("wile.medium_collisions").Value(); got != int64(res.Stats.Collisions) {
+		t.Errorf("wile.medium_collisions = %d, want %d", got, res.Stats.Collisions)
 	}
 	if got := reg.Counter("wile.medium_frames").Value(); got != prov.Frames() {
 		t.Errorf("wile.medium_frames = %d, want %d", got, prov.Frames())

@@ -8,6 +8,16 @@
 // receiver corrupt each other unless one captures the receiver by a 10 dB
 // margin. Corruption is expressed by flipping bytes so the 802.11 FCS check
 // fails at decode time, exactly as on real hardware.
+//
+// The medium scales to city-size populations (DESIGN.md §12): a transmitter
+// only visits receivers inside its interference radius — the distance at
+// which its signal falls below the most sensitive attached floor — found
+// through a uniform spatial grid over Position, and carrier sense is an O(1)
+// per-radio high-water mark instead of a history scan. Both are exact, not
+// approximations: the culled receiver set provably contains every radio the
+// all-pairs walk could have delivered to, sensed at, or interfered with, and
+// the reference all-pairs path is kept (see allPairs) so a property test can
+// pin byte-identical behavior on randomized topologies.
 package medium
 
 import (
@@ -60,12 +70,27 @@ type Reception struct {
 	Frame obs.FrameID
 }
 
+// heardTx is one transmission a receiver can hear (RSSI at or above its
+// sensitivity), recorded at transmit time. It is everything the collision
+// scan at delivery needs: the identity triple to skip the delivered frame
+// itself, the airtime bounds for the overlap test, and the received power
+// for the capture comparison.
+type heardTx struct {
+	from       *Transceiver
+	start, end sim.Time
+	rssi       phy.DBm
+}
+
+// interval is one of a radio's own transmissions (half-duplex blinding).
+type interval struct{ start, end sim.Time }
+
 // Transceiver is one radio attached to the medium.
 type Transceiver struct {
 	m *Medium
 	// Name labels the transceiver in diagnostics.
 	Name string
-	// Pos is the radio's location.
+	// Pos is the radio's location. It must not be reassigned after Attach —
+	// the medium's spatial index caches it; move a radio with SetPos.
 	Pos Position
 	// Sensitivity is the weakest signal the radio can decode.
 	Sensitivity phy.DBm
@@ -79,6 +104,25 @@ type Transceiver struct {
 	// prov is this radio's actor id in the medium's provenance ledger,
 	// assigned when the ledger is wired (ObserveProvenance / Attach).
 	prov obs.ActorID
+
+	// idx is the attach order; delivery events are always scheduled in idx
+	// order so the event stream is independent of the spatial index.
+	idx int
+	// cell is the radio's current grid bucket, valid once the grid is built.
+	cell cellKey
+	// busyUntil is the latest end time of any transmission this radio can
+	// hear (including its own). Because every transmission starts at its
+	// Transmit call time, "busy now" is exactly busyUntil > now — carrier
+	// sense without a history scan.
+	busyUntil sim.Time
+	// heard accumulates in-flight (and recently ended) transmissions at or
+	// above this radio's sensitivity; the delivery-time collision scan walks
+	// it instead of the global history. Compacted lazily against the
+	// medium's prune floor.
+	heard []heardTx
+	// ownTx are this radio's own transmissions: a half-duplex radio misses
+	// everything during its own TX regardless of power levels.
+	ownTx []interval
 }
 
 // SetOn powers the radio on or off. A powered-off radio neither receives
@@ -87,6 +131,16 @@ func (t *Transceiver) SetOn(on bool) { t.on = on }
 
 // On reports whether the radio is powered.
 func (t *Transceiver) On() bool { return t.on }
+
+// SetPos moves the radio, keeping the medium's spatial index coherent.
+// Position changes take effect for frames transmitted after the move;
+// frames already in flight keep the geometry they were launched under.
+func (t *Transceiver) SetPos(p Position) {
+	if t.m != nil && t.m.grid.built {
+		t.m.grid.move(t, p)
+	}
+	t.Pos = p
+}
 
 // ProvID reports the radio's actor id in the medium's provenance ledger.
 // Meaningful only while the medium's Prov hook is non-nil.
@@ -125,9 +179,51 @@ type Medium struct {
 	history []transmission
 	// Stats counts medium-level events for the experiment harness.
 	Stats Stats
+	// mirrored is the portion of Stats already exported into Metrics, so
+	// Observe's back-fill is idempotent (Observe may be called again, and
+	// two media may share one registry's counters).
+	mirrored Stats
+
+	// minSens is the most sensitive floor of any attached radio and maxTx
+	// the strongest attached transmitter; together with Loss they bound
+	// every interference radius. Monotone as radios attach.
+	minSens phy.DBm
+	// maxTx is meaningful only while hasNodes (0 dBm is a valid power).
+	maxTx    phy.DBm
+	hasNodes bool
+	grid     grid
+	// scratch is the reusable candidate buffer for grid queries.
+	scratch []candidate
+
+	// maxAir is the longest airtime among frames currently in history; the
+	// prune window is derived from it, so a 300 ms frame at 1 Mb/s keeps
+	// its interferers alive where a fixed window would drop them.
+	maxAir time.Duration
+	// cutoff is the monotone prune floor: transmissions (and heard entries)
+	// ending at or before it can no longer overlap any pending delivery.
+	cutoff sim.Time
+	// prunedLen is the history length right after the last compaction;
+	// pruning re-runs only after meaningful growth, keeping it amortized
+	// O(1) per transmission.
+	prunedLen int
+
+	// allPairs switches the medium to the reference all-pairs walk the
+	// culled path must match byte for byte: every radio gets a delivery
+	// event and carrier sense scans the history. Tests only.
+	allPairs bool
 }
 
-// Stats aggregates medium activity.
+// candidate is one grid-query hit: a receiver inside the transmitter's
+// interference radius and the received power there.
+type candidate struct {
+	t    *Transceiver
+	rssi phy.DBm
+}
+
+// Stats aggregates medium activity. Deliveries counts receptions handed to
+// a Handler clean of collision; Collisions counts collided receptions (the
+// two are disjoint, matching the provenance taxonomy's delivered-vs-collided
+// split).
 type Stats struct {
 	Transmissions int
 	Deliveries    int
@@ -161,28 +257,78 @@ func New(sched *sim.Scheduler, ch phy.Channel) *Medium {
 		Channel: ch,
 		Loss:    phy.PathLoss{Exponent: 3.0, FreqMHz: ch.FreqMHz},
 		Corrupt: true,
+		minSens: phy.DBm(math.Inf(1)),
 	}
 }
 
 // Attach adds a radio at pos. The radio starts powered off.
 func (m *Medium) Attach(name string, pos Position, txPower, sensitivity phy.DBm) *Transceiver {
-	t := &Transceiver{m: m, Name: name, Pos: pos, Sensitivity: sensitivity, TxPower: txPower}
+	t := &Transceiver{
+		m: m, Name: name, Pos: pos,
+		Sensitivity: sensitivity, TxPower: txPower,
+		idx: len(m.nodes),
+	}
 	if m.Prov != nil {
 		t.prov = m.Prov.Actor(name)
 	}
+	if sensitivity < m.minSens {
+		m.minSens = sensitivity
+	}
+	if !m.hasNodes || txPower > m.maxTx {
+		m.maxTx = txPower
+	}
+	m.hasNodes = true
 	m.nodes = append(m.nodes, t)
+	if m.grid.built {
+		m.grid.insert(t)
+	}
 	return t
 }
 
 // Observe mirrors the medium's Stats into the registry's wile.medium_*
 // counters (see MetricsFor). Counts accumulated before wiring are
-// back-filled so the registry never lags Stats.
+// back-filled exactly once: calling Observe again (or pointing several
+// media at one registry) never re-adds already-exported counts.
 func (m *Medium) Observe(reg *obs.Registry) {
-	m.Metrics = MetricsFor(reg)
-	if mm := m.Metrics; mm != nil {
-		mm.Transmissions.Add(int64(m.Stats.Transmissions))
-		mm.Deliveries.Add(int64(m.Stats.Deliveries))
-		mm.Collisions.Add(int64(m.Stats.Collisions))
+	mm := MetricsFor(reg)
+	if m.Metrics == nil || m.Metrics.Transmissions != mm.Transmissions {
+		// First wiring, or a different registry: nothing of ours has been
+		// exported into these counters yet.
+		m.mirrored = Stats{}
+	}
+	m.Metrics = mm
+	if mm != nil {
+		mm.Transmissions.Add(int64(m.Stats.Transmissions - m.mirrored.Transmissions))
+		mm.Deliveries.Add(int64(m.Stats.Deliveries - m.mirrored.Deliveries))
+		mm.Collisions.Add(int64(m.Stats.Collisions - m.mirrored.Collisions))
+	}
+	m.mirrored = m.Stats
+}
+
+// countTransmission/countDelivery/countCollision bump one Stats counter and
+// its registry mirror together, keeping mirrored in lockstep so Observe's
+// back-fill stays idempotent.
+func (m *Medium) countTransmission() {
+	m.Stats.Transmissions++
+	if m.Metrics != nil {
+		m.Metrics.Transmissions.Inc()
+		m.mirrored.Transmissions++
+	}
+}
+
+func (m *Medium) countDelivery() {
+	m.Stats.Deliveries++
+	if m.Metrics != nil {
+		m.Metrics.Deliveries.Inc()
+		m.mirrored.Deliveries++
+	}
+}
+
+func (m *Medium) countCollision() {
+	m.Stats.Collisions++
+	if m.Metrics != nil {
+		m.Metrics.Collisions.Inc()
+		m.mirrored.Collisions++
 	}
 }
 
@@ -208,6 +354,27 @@ func (m *Medium) rssiAt(from, to *Transceiver) phy.DBm {
 // sensitivity — the physical carrier-sense the DCF needs. A radio hears
 // its own transmission.
 func (m *Medium) Busy(t *Transceiver) bool {
+	if m.allPairs {
+		return m.busyScan(t)
+	}
+	return t.busyUntil > m.sched.Now()
+}
+
+// BusyUntil reports the latest end time of any transmission t can hear, or
+// zero time if idle.
+func (m *Medium) BusyUntil(t *Transceiver) sim.Time {
+	if m.allPairs {
+		return m.busyUntilScan(t)
+	}
+	if until := t.busyUntil; until > m.sched.Now() {
+		return until
+	}
+	return 0
+}
+
+// busyScan is the all-pairs reference for Busy: a linear walk of the
+// transmission history.
+func (m *Medium) busyScan(t *Transceiver) bool {
 	now := m.sched.Now()
 	for _, tx := range m.history {
 		if tx.end <= now || tx.start > now {
@@ -223,9 +390,8 @@ func (m *Medium) Busy(t *Transceiver) bool {
 	return false
 }
 
-// BusyUntil reports the latest end time of any transmission t can hear, or
-// zero time if idle.
-func (m *Medium) BusyUntil(t *Transceiver) sim.Time {
+// busyUntilScan is the all-pairs reference for BusyUntil.
+func (m *Medium) busyUntilScan(t *Transceiver) sim.Time {
 	now := m.sched.Now()
 	var until sim.Time
 	for _, tx := range m.history {
@@ -240,7 +406,8 @@ func (m *Medium) BusyUntil(t *Transceiver) sim.Time {
 }
 
 // Transmit puts data on the air from t at the given rate. The data slice
-// must not be mutated afterwards. Returns the airtime.
+// must not be mutated while the frame (or any frame overlapping it) is in
+// flight. Returns the airtime.
 func (m *Medium) Transmit(t *Transceiver, data []byte, rate phy.Rate) time.Duration {
 	if !t.on {
 		panic(fmt.Sprintf("medium: %s transmitting with radio off", t.Name))
@@ -250,32 +417,190 @@ func (m *Medium) Transmit(t *Transceiver, data []byte, rate phy.Rate) time.Durat
 	tx := transmission{from: t, data: data, rate: rate, start: now, end: now.Add(airtime)}
 	if m.Prov != nil {
 		// Every other attached radio is a potential receiver and must
-		// resolve to exactly one outcome (deliver schedules one event per
-		// radio below).
+		// resolve to exactly one outcome: in-radius radios through their
+		// delivery events, culled radios through the batch event below.
 		tx.frame = m.Prov.Transmitted(t.prov, len(m.nodes)-1)
 	}
 	m.history = append(m.history, tx)
-	m.Stats.Transmissions++
-	if m.Metrics != nil {
-		m.Metrics.Transmissions.Inc()
+	if airtime > m.maxAir {
+		m.maxAir = airtime
 	}
+	m.countTransmission()
 	m.pruneHistory(now)
 
-	for _, rcv := range m.nodes {
-		if rcv == t {
-			continue
+	// The transmitter senses (and is blinded by) its own frame.
+	if tx.end > t.busyUntil {
+		t.busyUntil = tx.end
+	}
+	t.ownTx = appendPruned(t.ownTx, interval{start: now, end: tx.end}, m.cutoff)
+
+	if m.allPairs {
+		for _, rcv := range m.nodes {
+			if rcv == t {
+				continue
+			}
+			if rssi := m.rssiAt(t, rcv); rssi >= rcv.Sensitivity {
+				m.noteHeard(rcv, t, tx, rssi)
+			}
+			rcv := rcv
+			m.sched.DoAt(tx.end, func() { m.deliverAllPairs(tx, rcv) })
 		}
-		rcv := rcv
-		m.sched.DoAt(tx.end, func() { m.deliver(tx, rcv) })
+		return airtime
+	}
+
+	if m.Prov != nil {
+		// The ledger accounts for every pair, so the walk is O(nodes)
+		// regardless of culling; what culling still buys is one batch event
+		// for the out-of-budget radios instead of one event each.
+		var culled []*Transceiver
+		for _, rcv := range m.nodes {
+			if rcv == t {
+				continue
+			}
+			rssi := m.rssiAt(t, rcv)
+			if rssi < m.minSens {
+				culled = append(culled, rcv)
+				continue
+			}
+			m.scheduleDelivery(t, tx, rcv, rssi)
+		}
+		if len(culled) > 0 {
+			m.sched.DoAt(tx.end, func() { m.resolveCulled(tx, culled) })
+		}
+		return airtime
+	}
+
+	if !m.grid.built {
+		m.buildGrid()
+	}
+	radius := m.Loss.Range(t.TxPower, m.minSens)
+	for _, c := range m.gridCandidates(t, radius) {
+		m.scheduleDelivery(t, tx, c.t, c.rssi)
 	}
 	return airtime
+}
+
+// scheduleDelivery books one in-radius receiver: carrier-sense and
+// collision-scan state now, the delivery event at end of airtime.
+func (m *Medium) scheduleDelivery(t *Transceiver, tx transmission, rcv *Transceiver, rssi phy.DBm) {
+	if rssi >= rcv.Sensitivity {
+		m.noteHeard(rcv, t, tx, rssi)
+	}
+	m.sched.DoAt(tx.end, func() { m.deliver(tx, rcv, rssi) })
+}
+
+// noteHeard records a hearable transmission at rcv: it extends the
+// carrier-sense high-water mark and joins the receiver's collision-scan
+// window.
+func (m *Medium) noteHeard(rcv *Transceiver, from *Transceiver, tx transmission, rssi phy.DBm) {
+	if tx.end > rcv.busyUntil {
+		rcv.busyUntil = tx.end
+	}
+	rcv.heard = append(rcv.heard, heardTx{from: from, start: tx.start, end: tx.end, rssi: rssi})
+}
+
+// appendPruned appends iv, dropping entries that ended at or before the
+// prune floor while it is touching the slice anyway.
+func appendPruned(ivs []interval, iv interval, cutoff sim.Time) []interval {
+	kept := ivs[:0]
+	for _, old := range ivs {
+		if old.end > cutoff {
+			kept = append(kept, old)
+		}
+	}
+	return append(kept, iv)
+}
+
+// resolveCulled settles the provenance outcomes of every receiver outside
+// the frame's interference budget, at end of airtime like any delivery.
+// The all-pairs precedence is preserved: a powered-off (or handler-less)
+// radio resolves radio_off even though the signal also missed it.
+func (m *Medium) resolveCulled(tx transmission, culled []*Transceiver) {
+	if m.Prov == nil {
+		return
+	}
+	for _, rcv := range culled {
+		if !rcv.on || rcv.Handler == nil {
+			m.Prov.Resolve(tx.frame, rcv.prov, tx.end, obs.DropRadioOff)
+			continue
+		}
+		m.Prov.Resolve(tx.frame, rcv.prov, tx.end, obs.DropBelowSensitivity)
+	}
 }
 
 // deliver decides at end-of-frame whether rcv decodes tx. The medium owns
 // the provenance outcomes it can decide alone (radio_off,
 // below_sensitivity, collided); receptions it hands to a Handler resolve
-// at the decode layers.
-func (m *Medium) deliver(tx transmission, rcv *Transceiver) {
+// at the decode layers. rssi was computed when the frame was launched.
+func (m *Medium) deliver(tx transmission, rcv *Transceiver, rssi phy.DBm) {
+	collided := m.scanHeard(tx, rcv, rssi)
+	if !rcv.on || rcv.Handler == nil {
+		if m.Prov != nil {
+			m.Prov.Resolve(tx.frame, rcv.prov, tx.end, obs.DropRadioOff)
+		}
+		return
+	}
+	if rssi < rcv.Sensitivity {
+		if m.Prov != nil {
+			m.Prov.Resolve(tx.frame, rcv.prov, tx.end, obs.DropBelowSensitivity)
+		}
+		return
+	}
+	m.finishDelivery(tx, rcv, rssi, collided)
+}
+
+// scanHeard runs the collision scan over rcv's heard window (compacting it
+// against the prune floor in the same pass) and the receiver's own
+// transmissions.
+func (m *Medium) scanHeard(tx transmission, rcv *Transceiver, rssi phy.DBm) bool {
+	collided := false
+	kept := rcv.heard[:0]
+	for _, h := range rcv.heard {
+		if h.end <= m.cutoff {
+			continue
+		}
+		kept = append(kept, h)
+		if collided {
+			continue
+		}
+		if h.from == tx.from && h.start == tx.start && h.end == tx.end {
+			continue // the delivered frame itself
+		}
+		if h.start >= tx.end || h.end <= tx.start {
+			continue
+		}
+		if float64(rssi-h.rssi) >= CaptureMarginDB {
+			continue // we capture over the weaker frame
+		}
+		collided = true
+	}
+	clearHeard(rcv.heard[len(kept):])
+	rcv.heard = kept
+	if !collided {
+		for _, iv := range rcv.ownTx {
+			if iv.start < tx.end && iv.end > tx.start {
+				// Receiver was itself transmitting: half-duplex radios miss
+				// everything during their own TX.
+				collided = true
+				break
+			}
+		}
+	}
+	return collided
+}
+
+// clearHeard zeroes compacted-away tail entries so their *Transceiver
+// pointers do not pin dead radios in a long-lived slice.
+func clearHeard(tail []heardTx) {
+	for i := range tail {
+		tail[i] = heardTx{}
+	}
+}
+
+// deliverAllPairs is the reference delivery path: RSSI evaluated at
+// delivery time and collisions found by scanning the shared history. The
+// culled path must match it byte for byte on static topologies.
+func (m *Medium) deliverAllPairs(tx transmission, rcv *Transceiver) {
 	if !rcv.on || rcv.Handler == nil {
 		if m.Prov != nil {
 			m.Prov.Resolve(tx.frame, rcv.prov, tx.end, obs.DropRadioOff)
@@ -298,8 +623,6 @@ func (m *Medium) deliver(tx transmission, rcv *Transceiver) {
 			continue
 		}
 		if other.from == rcv {
-			// Receiver was itself transmitting: half-duplex radios miss
-			// everything during their own TX.
 			collided = true
 			break
 		}
@@ -308,31 +631,34 @@ func (m *Medium) deliver(tx transmission, rcv *Transceiver) {
 			continue
 		}
 		if float64(rssi-otherRSSI) >= CaptureMarginDB {
-			continue // we capture over the weaker frame
+			continue
 		}
 		collided = true
 		break
 	}
+	m.finishDelivery(tx, rcv, rssi, collided)
+}
+
+// finishDelivery applies the collision outcome to the counters, the ledger
+// and the payload, then hands the reception to the receiver. Collided
+// receptions count only as collisions: Stats, the registry mirror and the
+// provenance taxonomy all agree that delivered and collided are disjoint.
+func (m *Medium) finishDelivery(tx transmission, rcv *Transceiver, rssi phy.DBm, collided bool) {
 	data := tx.data
 	if collided {
-		m.Stats.Collisions++
-		if m.Metrics != nil {
-			m.Metrics.Collisions.Inc()
-		}
+		m.countCollision()
 		if m.Prov != nil {
 			m.Prov.Resolve(tx.frame, rcv.prov, tx.end, obs.DropCollided)
 		}
-		if m.Corrupt {
+		if m.Corrupt && len(data) > 0 {
 			corrupted := append([]byte(nil), data...)
 			// Flip a mid-frame byte so the FCS fails: the canonical
 			// collision outcome.
 			corrupted[len(corrupted)/2] ^= 0xff
 			data = corrupted
 		}
-	}
-	m.Stats.Deliveries++
-	if m.Metrics != nil {
-		m.Metrics.Deliveries.Inc()
+	} else {
+		m.countDelivery()
 	}
 	rcv.Handler(Reception{
 		Data:     data,
@@ -345,21 +671,32 @@ func (m *Medium) deliver(tx transmission, rcv *Transceiver) {
 	})
 }
 
-// pruneHistory drops transmissions that ended more than a beacon interval
-// ago; nothing can overlap them anymore.
+// pruneHistory drops transmissions that can no longer overlap any pending
+// delivery. The keep window is the longest airtime currently on the air —
+// every pending frame started at most that long before its delivery fires —
+// instead of a fixed constant that silently assumed no frame outlives it.
+// Compaction is amortized: it re-runs only once the history has clearly
+// outgrown its last compacted size.
 func (m *Medium) pruneHistory(now sim.Time) {
-	const keep = 200 * sim.Millisecond
-	cutoff := now - keep
-	if cutoff < 0 {
+	if floor := now - sim.Time(m.maxAir); floor > m.cutoff {
+		m.cutoff = floor
+	}
+	if len(m.history) < 2*m.prunedLen+16 {
 		return
 	}
 	i := 0
+	m.maxAir = 0
 	for _, tx := range m.history {
-		if tx.end >= cutoff {
-			m.history[i] = tx
-			i++
+		if tx.end <= m.cutoff {
+			continue
+		}
+		m.history[i] = tx
+		i++
+		if air := tx.end.Sub(tx.start); air > m.maxAir {
+			m.maxAir = air
 		}
 	}
 	clear(m.history[i:])
 	m.history = m.history[:i]
+	m.prunedLen = i
 }

@@ -2,7 +2,9 @@ package medium
 
 import (
 	"testing"
+	"time"
 
+	"wile/internal/obs"
 	"wile/internal/phy"
 	"wile/internal/sim"
 )
@@ -268,7 +270,222 @@ func TestHistoryPruned(t *testing.T) {
 		m.Transmit(a, make([]byte, 10), phy.RateOFDM6)
 		s.RunFor(sim.Second.Duration())
 	}
-	if len(m.history) > 4 {
+	// Pruning is amortized (it re-runs after the history doubles past its
+	// last compacted size), so the bound is a small constant, not an exact
+	// count: 100 long-dead transmissions must not accumulate.
+	if len(m.history) > 32 {
 		t.Fatalf("history holds %d entries after pruning", len(m.history))
+	}
+}
+
+// TestLongFrameOutlivesOldPruneWindow: a frame slower and longer than the
+// old fixed 200 ms keep window must still collide with an interferer that
+// ended early in its airtime. The prune window is derived from the longest
+// airtime on the air, so background traffic far away (which triggers
+// pruning) cannot evict the interferer before the long frame resolves.
+func TestLongFrameOutlivesOldPruneWindow(t *testing.T) {
+	s, m := newTestMedium()
+	long := m.Attach("long", Position{1, 0}, 0, phy.SensitivityWiFiMCS7)
+	short := m.Attach("short", Position{2, 0}, 0, phy.SensitivityWiFiMCS7)
+	rx := m.Attach("rx", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	far := m.Attach("far", Position{500, 0}, 0, phy.SensitivityWiFiMCS7)
+	for _, trx := range []*Transceiver{long, short, rx, far} {
+		trx.SetOn(true)
+	}
+	var got []Reception
+	rx.Handler = func(r Reception) { got = append(got, r) }
+
+	// ~240 ms of airtime at 1 Mb/s: starts at t=0, ends long after the old
+	// 200 ms window has rolled past the interferer below.
+	airtime := m.Transmit(long, make([]byte, 30000), phy.RateDSSS1)
+	if airtime <= 200*sim.Millisecond.Duration() {
+		t.Fatalf("long frame airtime %v not beyond the old 200 ms window", airtime)
+	}
+	s.After(sim.Millisecond.Duration(), func() {
+		m.Transmit(short, make([]byte, 10), phy.RateOFDM6)
+	})
+	// Out-of-range chatter to drive history growth and pruning while the
+	// long frame is still in the air.
+	for i := 2; i < 60; i++ {
+		at := time.Duration(i) * 4 * sim.Millisecond.Duration()
+		s.After(at, func() { m.Transmit(far, make([]byte, 10), phy.RateOFDM6) })
+	}
+	s.Run()
+
+	var sawLong bool
+	for _, r := range got {
+		if len(r.Data) == 30000 {
+			sawLong = true
+			if !r.Collided {
+				t.Error("long frame delivered clean despite early interferer")
+			}
+		}
+	}
+	if !sawLong {
+		t.Fatal("long frame never delivered")
+	}
+}
+
+// TestZeroLengthFrameCollision: colliding zero-length frames must not panic
+// in the corruption byte-flip.
+func TestZeroLengthFrameCollision(t *testing.T) {
+	s, m := newTestMedium()
+	a := m.Attach("a", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	b := m.Attach("b", Position{2, 0}, 0, phy.SensitivityWiFiMCS7)
+	rx := m.Attach("rx", Position{1, 0}, 0, phy.SensitivityWiFiMCS7)
+	for _, trx := range []*Transceiver{a, b, rx} {
+		trx.SetOn(true)
+	}
+	var got []Reception
+	rx.Handler = func(r Reception) { got = append(got, r) }
+	m.Transmit(a, nil, phy.RateOFDM6)
+	m.Transmit(b, nil, phy.RateOFDM6)
+	s.Run()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(got))
+	}
+	for i, r := range got {
+		if !r.Collided {
+			t.Errorf("reception %d not marked collided", i)
+		}
+		if len(r.Data) != 0 {
+			t.Errorf("reception %d grew data: %d bytes", i, len(r.Data))
+		}
+	}
+}
+
+// TestCollidedReceptionsAreNotDeliveries pins the accounting split: a
+// collided reception counts only as a collision, in Stats and in the
+// registry mirror, matching the provenance taxonomy where delivered and
+// collided are disjoint outcomes.
+func TestCollidedReceptionsAreNotDeliveries(t *testing.T) {
+	s, m := newTestMedium()
+	reg := obs.NewRegistry()
+	m.Observe(reg)
+	a := m.Attach("a", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	b := m.Attach("b", Position{2, 0}, 0, phy.SensitivityWiFiMCS7)
+	rx := m.Attach("rx", Position{1, 0}, 0, phy.SensitivityWiFiMCS7)
+	for _, trx := range []*Transceiver{a, b, rx} {
+		trx.SetOn(true)
+	}
+	rx.Handler = func(Reception) {}
+	a.Handler = func(Reception) {}
+	b.Handler = func(Reception) {}
+	m.Transmit(a, make([]byte, 200), phy.RateOFDM6)
+	m.Transmit(b, make([]byte, 200), phy.RateOFDM6)
+	s.Run()
+	// Overlapping equidistant frames: rx sees two collided receptions, a
+	// and b each miss the other half-duplex — four collisions, none clean.
+	if m.Stats.Deliveries != 0 {
+		t.Errorf("Stats.Deliveries = %d, want 0 (all receptions collided)", m.Stats.Deliveries)
+	}
+	if m.Stats.Collisions != 4 {
+		t.Errorf("Stats.Collisions = %d, want 4", m.Stats.Collisions)
+	}
+	if got := reg.Counter("wile.medium_deliveries").Value(); got != 0 {
+		t.Errorf("wile.medium_deliveries = %d, want 0", got)
+	}
+	if got := reg.Counter("wile.medium_collisions").Value(); got != 4 {
+		t.Errorf("wile.medium_collisions = %d, want 4", got)
+	}
+}
+
+// TestObserveIdempotent: re-wiring a registry (or wiring two media to one)
+// must not re-add already-exported Stats into the shared counters.
+func TestObserveIdempotent(t *testing.T) {
+	s, m := newTestMedium()
+	a := m.Attach("a", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	rx := m.Attach("rx", Position{1, 0}, 0, phy.SensitivityWiFiMCS7)
+	a.SetOn(true)
+	rx.SetOn(true)
+	rx.Handler = func(Reception) {}
+	m.Transmit(a, make([]byte, 100), phy.RateOFDM6)
+	s.Run()
+
+	reg := obs.NewRegistry()
+	m.Observe(reg)
+	m.Observe(reg) // second wiring: back-fill must not repeat
+	if got := reg.Counter("wile.medium_transmissions").Value(); got != 1 {
+		t.Fatalf("wile.medium_transmissions = %d after double Observe, want 1", got)
+	}
+	if got := reg.Counter("wile.medium_deliveries").Value(); got != 1 {
+		t.Fatalf("wile.medium_deliveries = %d after double Observe, want 1", got)
+	}
+
+	// Live counts after wiring must survive a further re-wiring untouched.
+	m.Transmit(a, make([]byte, 100), phy.RateOFDM6)
+	s.Run()
+	m.Observe(reg)
+	if got := reg.Counter("wile.medium_transmissions").Value(); got != 2 {
+		t.Fatalf("wile.medium_transmissions = %d after re-Observe, want 2", got)
+	}
+
+	// A second medium sharing the registry adds only its own counts.
+	s2 := sim.New()
+	m2 := New(s2, phy.WiFi24Channel(6))
+	c := m2.Attach("c", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	c.SetOn(true)
+	m2.Transmit(c, make([]byte, 10), phy.RateOFDM6)
+	s2.Run()
+	m2.Observe(reg)
+	if got := reg.Counter("wile.medium_transmissions").Value(); got != 3 {
+		t.Fatalf("wile.medium_transmissions = %d with two media, want 3", got)
+	}
+
+	// Moving to a fresh registry back-fills everything there exactly once.
+	reg2 := obs.NewRegistry()
+	m.Observe(reg2)
+	if got := reg2.Counter("wile.medium_transmissions").Value(); got != 2 {
+		t.Fatalf("fresh registry wile.medium_transmissions = %d, want 2", got)
+	}
+}
+
+// TestSetPosRebucketsGrid: moving a radio with SetPos must take effect for
+// later transmissions even after the spatial index is built.
+func TestSetPosRebucketsGrid(t *testing.T) {
+	s, m := newTestMedium()
+	tx := m.Attach("tx", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	rx := m.Attach("rx", Position{500, 0}, 0, phy.SensitivityWiFiMCS7)
+	tx.SetOn(true)
+	rx.SetOn(true)
+	delivered := 0
+	rx.Handler = func(Reception) { delivered++ }
+
+	m.Transmit(tx, make([]byte, 10), phy.RateOFDM6) // builds the grid; rx far out of range
+	s.Run()
+	if delivered != 0 {
+		t.Fatal("delivery at 500 m")
+	}
+	rx.SetPos(Position{3, 0})
+	m.Transmit(tx, make([]byte, 10), phy.RateOFDM6)
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d after moving into range, want 1", delivered)
+	}
+	rx.SetPos(Position{500, 0})
+	m.Transmit(tx, make([]byte, 10), phy.RateOFDM6)
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d after moving back out of range, want 1", delivered)
+	}
+}
+
+// TestAttachAfterGridBuilt: radios attached after the first transmission
+// must be indexed and receive like any other.
+func TestAttachAfterGridBuilt(t *testing.T) {
+	s, m := newTestMedium()
+	tx := m.Attach("tx", Position{0, 0}, 0, phy.SensitivityWiFiMCS7)
+	tx.SetOn(true)
+	m.Transmit(tx, make([]byte, 10), phy.RateOFDM6)
+	s.Run()
+
+	late := m.Attach("late", Position{3, 0}, 0, phy.SensitivityWiFiMCS7)
+	late.SetOn(true)
+	delivered := 0
+	late.Handler = func(Reception) { delivered++ }
+	m.Transmit(tx, make([]byte, 10), phy.RateOFDM6)
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("late-attached radio got %d deliveries, want 1", delivered)
 	}
 }

@@ -158,6 +158,13 @@ type Provenance struct {
 	rec        *Recorder
 	dropTracks []TrackID
 	metrics    *ProvMetrics
+
+	// mirrored* track the portion of the ledger already exported into
+	// metrics, so Observe's back-fill is idempotent: re-wiring the same
+	// registry (or two ledgers sharing one) never re-adds old counts.
+	mirroredFrames   int64
+	mirroredOutcomes [NumDropReasons]int64
+	mirroredQueue    int64
 }
 
 // NewProvenance returns an empty ledger.
@@ -200,18 +207,27 @@ func (p *Provenance) TraceTo(r *Recorder) {
 
 // Observe mirrors the ledger's totals into the registry's wile.medium_*
 // counters (see ProvMetricsFor). Counts recorded before wiring are
-// back-filled so the registry never lags the ledger.
+// back-filled exactly once: calling Observe again (or wiring a second
+// ledger to the same registry) never re-adds already-exported counts.
 func (p *Provenance) Observe(reg *Registry) {
-	p.metrics = ProvMetricsFor(reg)
-	p.metrics.Frames.Add(int64(p.next))
+	m := ProvMetricsFor(reg)
+	if p.metrics == nil || p.metrics.Frames != m.Frames {
+		// First wiring, or a different registry: none of our counts have
+		// been exported into these counters yet.
+		p.mirroredFrames = 0
+		p.mirroredOutcomes = [NumDropReasons]int64{}
+		p.mirroredQueue = 0
+	}
+	p.metrics = m
+	m.Frames.Add(int64(p.next) - p.mirroredFrames)
+	p.mirroredFrames = int64(p.next)
 	for r, n := range p.outcomes {
-		p.metrics.Outcomes[r].Add(n)
+		m.Outcomes[r].Add(n - p.mirroredOutcomes[r])
+		p.mirroredOutcomes[r] = n
 	}
-	var queued int64
-	for _, n := range p.queueDrops {
-		queued += n
-	}
-	p.metrics.Outcomes[DropQueueDrop].Add(queued)
+	queued := p.QueueDrops()
+	m.Outcomes[DropQueueDrop].Add(queued - p.mirroredQueue)
+	p.mirroredQueue = queued
 }
 
 // Transmitted assigns the next FrameID to a transmission from the given
@@ -222,6 +238,7 @@ func (p *Provenance) Transmitted(from ActorID, potential int) FrameID {
 	id := p.next
 	if p.metrics != nil {
 		p.metrics.Frames.Inc()
+		p.mirroredFrames++
 	}
 	p.potential += int64(potential)
 	if potential > 0 {
@@ -262,6 +279,7 @@ func (p *Provenance) Resolve(frame FrameID, rx ActorID, at sim.Time, reason Drop
 	counts[reason]++
 	if p.metrics != nil {
 		p.metrics.Outcomes[reason].Inc()
+		p.mirroredOutcomes[reason]++
 	}
 	if p.rec != nil && reason != Delivered && int(rx) < len(p.dropTracks) {
 		p.rec.Instant(p.dropTracks[rx], at, dropInstantNames[reason])
@@ -275,6 +293,7 @@ func (p *Provenance) QueueDrop(from ActorID, at sim.Time) {
 	p.queueDrops[from]++
 	if p.metrics != nil {
 		p.metrics.Outcomes[DropQueueDrop].Inc()
+		p.mirroredQueue++
 	}
 	if p.rec != nil && int(from) < len(p.dropTracks) {
 		p.rec.Instant(p.dropTracks[from], at, dropInstantNames[DropQueueDrop])

@@ -207,6 +207,52 @@ func TestProvenanceObserve(t *testing.T) {
 	}
 }
 
+// TestProvenanceObserveIdempotent: re-wiring the same registry must not
+// re-add counts already exported, whether they arrived by back-fill or
+// through the live hooks; a fresh registry gets a full back-fill once.
+func TestProvenanceObserveIdempotent(t *testing.T) {
+	p := NewProvenance()
+	tx := p.Actor("tx")
+	rx := p.Actor("rx")
+	f := p.Transmitted(tx, 1)
+	p.Resolve(f, rx, 0, DropCollided)
+	p.QueueDrop(tx, 0)
+
+	reg := NewRegistry()
+	p.Observe(reg)
+	p.Observe(reg) // immediate re-wiring: back-fill must not repeat
+
+	g := p.Transmitted(tx, 1)
+	p.Resolve(g, rx, 1, Delivered)
+	p.Observe(reg) // re-wiring after live increments must add nothing
+
+	for name, want := range map[string]int64{
+		"wile.medium_frames":          2,
+		"wile.medium_delivered":       1,
+		"wile.medium_drop_collided":   1,
+		"wile.medium_drop_queue_drop": 1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d after double Observe, want %d", name, got, want)
+		}
+	}
+
+	// A different registry starts from zero and gets everything exactly once.
+	reg2 := NewRegistry()
+	p.Observe(reg2)
+	p.Observe(reg2)
+	for name, want := range map[string]int64{
+		"wile.medium_frames":          2,
+		"wile.medium_delivered":       1,
+		"wile.medium_drop_collided":   1,
+		"wile.medium_drop_queue_drop": 1,
+	} {
+		if got := reg2.Counter(name).Value(); got != want {
+			t.Errorf("fresh registry %s = %d, want %d", name, got, want)
+		}
+	}
+}
+
 // TestProvenanceTraceInstants checks that drops (and only drops) land as
 // instant events on per-actor tracks.
 func TestProvenanceTraceInstants(t *testing.T) {
